@@ -1,0 +1,125 @@
+"""Algorithm 2 — auto-tuning band_size_dense (ablation).
+
+The paper's structure-aware decision grows a dense band while the
+modeled dense execution of the next sub-diagonal beats its TLR
+execution.  This bench runs the auto-tuner on measured rank profiles at
+the paper's tile size, sweeps the fluctuation parameter, and compares
+the auto-tuned band against fixed bands by estimated time-to-solution —
+the ablation DESIGN.md calls out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import A64FX, crossover_rank, estimate_cholesky
+from repro.stats import format_table
+from repro.tile import TileLayout, autotune_band_size
+from repro.tile.precision import Precision
+
+TILE = 2700
+NT = 200
+
+
+def ranks_from_profile(profile, layout):
+    """Expand a measured per-offset rank profile into per-tile ranks."""
+    _, mean_rank = profile.at_offsets(layout.nt)
+    out = {}
+    for i, j in layout.lower_tiles():
+        if i != j:
+            out[(i, j)] = int(max(mean_rank[i - j], 1))
+    return out
+
+
+@pytest.fixture(scope="module")
+def tuning_setup(correlation_profiles):
+    layout = TileLayout(NT * TILE, TILE)
+    precisions = {k: Precision.FP64 for k in layout.lower_tiles()}
+    ranks = {
+        corr: ranks_from_profile(correlation_profiles[corr], layout)
+        for corr in ("weak", "medium", "strong")
+    }
+    return layout, precisions, ranks
+
+
+def test_alg2_band_sizes(tuning_setup, write_artifact, benchmark):
+    layout, precisions, ranks = tuning_setup
+    rows = []
+    bands = {}
+    for corr, rank_map in ranks.items():
+        band = autotune_band_size(layout, rank_map, precisions, A64FX)
+        bands[corr] = band
+        near_rank = np.mean([rank_map[(j + 1, j)] for j in range(layout.nt - 1)])
+        rows.append([corr, band, near_rank, crossover_rank(TILE, A64FX)])
+    table = format_table(
+        ["correlation", "band_size_dense", "mean_rank_offset1", "crossover"],
+        rows,
+        title=(
+            f"Algorithm 2 — auto-tuned dense band at tile {TILE} "
+            "(paper's Fig. 3 example: a band of 3 tiles)"
+        ),
+        float_fmt="{:.1f}",
+    )
+    write_artifact("alg2_band_tuning", table)
+
+    # Bands stay small (measured ranks are well below the crossover)
+    # and never shrink when correlation strengthens.
+    assert 1 <= bands["weak"] <= bands["strong"] <= 6
+    benchmark(
+        autotune_band_size, layout, ranks["weak"], precisions, A64FX
+    )
+
+
+def test_alg2_fluctuation_sweep(tuning_setup, write_artifact, benchmark):
+    layout, precisions, ranks = tuning_setup
+    flucts = (0.25, 0.5, 1.0, 2.0, 4.0)
+    bands = [
+        autotune_band_size(
+            layout, ranks["strong"], precisions, A64FX, fluctuation=f
+        )
+        for f in flucts
+    ]
+    write_artifact(
+        "alg2_fluctuation_sweep",
+        format_table(
+            ["fluctuation", "band_size_dense"],
+            [[f, b] for f, b in zip(flucts, bands)],
+            title="Algorithm 2 ablation — band vs fluctuation (strong corr)",
+        ),
+    )
+    assert bands == sorted(bands)
+    benchmark(
+        autotune_band_size, layout, ranks["strong"], precisions, A64FX
+    )
+
+
+def test_alg2_auto_band_near_optimal(correlation_profiles, write_artifact, benchmark):
+    """Ablation: the auto-tuned band's estimated time-to-solution is
+    within 20% of the best fixed band in a sweep."""
+    profile = correlation_profiles["medium"]
+    layout = TileLayout(NT * TILE, TILE)
+    precisions = {k: Precision.FP64 for k in layout.lower_tiles()}
+    rank_map = ranks_from_profile(profile, layout)
+    auto_band = autotune_band_size(layout, rank_map, precisions, A64FX)
+
+    times = {}
+    for band in (1, 2, 3, 5, 8, 12):
+        est = estimate_cholesky(
+            profile, NT * TILE, TILE, A64FX, nodes=256, band_size=band
+        )
+        times[band] = est.time_s
+    auto_time = estimate_cholesky(
+        profile, NT * TILE, TILE, A64FX, nodes=256, band_size=auto_band
+    ).time_s
+    best = min(times.values())
+    write_artifact(
+        "alg2_band_ablation",
+        format_table(
+            ["band", "estimated_time_s"],
+            [[b, t] for b, t in sorted(times.items())]
+            + [[f"auto({auto_band})", auto_time]],
+            title="Algorithm 2 ablation — fixed bands vs auto-tuned",
+            float_fmt="{:.4g}",
+        ),
+    )
+    assert auto_time <= best * 1.2
+    benchmark(autotune_band_size, layout, rank_map, precisions, A64FX)

@@ -1,0 +1,85 @@
+"""Energy and memory-feasibility extension benches.
+
+The paper motivates mixed precision partly through "fast and
+energy-efficient low precision floating-point units" (Section V-A) and
+stresses that dense memory footprints gate problem size (Sections III,
+VII-E).  These benches quantify both with the extension models:
+Cholesky energy per variant at scale, and the largest feasible matrix
+per variant on a Fugaku-node-memory budget.
+"""
+
+import pytest
+
+from repro.perfmodel import (
+    A64FX,
+    PlanProfile,
+    estimate_energy,
+    max_feasible_n,
+    storage_per_node,
+)
+from repro.stats import format_table
+
+N, TILE = 2_000_000, 1350
+
+
+def test_energy_per_variant(correlation_profiles, write_artifact, benchmark):
+    rows = []
+    energies = {}
+    for label, profile, band in (
+        ("dense-fp64", correlation_profiles["dense"], 1),
+        ("mp-dense", correlation_profiles["mp-dense"], 1),
+        ("mp-dense-tlr (weak)", correlation_profiles["weak"], 2),
+        ("mp-dense-tlr (strong)", correlation_profiles["strong"], 2),
+    ):
+        e = estimate_energy(profile, N, TILE, band_size=band)
+        energies[label] = e
+        rows.append([label, e / 1e6, energies["dense-fp64"] / e])
+    table = format_table(
+        ["variant", "energy_MJ", "savings_vs_dense"],
+        rows,
+        title=(
+            f"Energy extension — one Cholesky at N={N:,}, tile {TILE} "
+            "(A64FX energy model)"
+        ),
+        float_fmt="{:.4g}",
+    )
+    write_artifact("energy_per_variant", table)
+
+    assert energies["mp-dense"] < energies["dense-fp64"]
+    assert energies["mp-dense-tlr (weak)"] < energies["mp-dense"]
+    # TLR's flop removal dominates: at least 3x total savings.
+    assert energies["dense-fp64"] / energies["mp-dense-tlr (weak)"] > 3.0
+
+    benchmark(estimate_energy, correlation_profiles["weak"], N, TILE)
+
+
+def test_feasibility_frontier(correlation_profiles, write_artifact, benchmark):
+    """Largest solvable matrix per node count and variant with 32 GB
+    nodes — the quantitative version of 'dense can only handle the
+    smaller matrix sizes'."""
+    rows = []
+    for nodes in (1024, 2048, 8192):
+        n_dense = max_feasible_n(correlation_profiles["dense"], nodes, 2700)
+        n_tlr = max_feasible_n(
+            correlation_profiles["weak"], nodes, 2700, band_size=3
+        )
+        rows.append([nodes, n_dense, n_tlr, n_tlr / max(n_dense, 1)])
+    table = format_table(
+        ["nodes", "max_n_dense_fp64", "max_n_mp_tlr", "ratio"],
+        rows,
+        title=(
+            "Feasibility extension — largest matrix fitting 80% of "
+            "32 GB/node (paper: 9M dense infeasible on small partitions)"
+        ),
+        float_fmt="{:.3g}",
+    )
+    write_artifact("feasibility_frontier", table)
+
+    for _, n_dense, n_tlr, ratio in rows:
+        assert n_tlr > 2 * n_dense
+    # 9M dense truly does not fit 2048 nodes (the Fig. 10 point).
+    assert rows[1][1] < 9_000_000
+
+    benchmark(
+        storage_per_node, correlation_profiles["weak"], N, 2700, 1024
+    )

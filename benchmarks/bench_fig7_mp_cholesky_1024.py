@@ -1,0 +1,102 @@
+"""Fig. 7 — mixed-precision dense Cholesky on 1024 nodes, tile 800.
+
+The paper shows sustained throughput vs matrix size for the dense
+Cholesky in FP64 vs mixed-precision GEMM variants on 1024 Fugaku nodes
+(94% parallel efficiency vs a single node for FP64).  We regenerate the
+series from the aggregate estimator (documented Fugaku substitution)
+and cross-check the small-N end against the real-DAG discrete-event
+simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import A64FX, PlanProfile, estimate_cholesky
+from repro.stats import format_table
+
+NODES = 1024
+TILE = 800
+SIZES = [250_000, 500_000, 1_000_000, 2_000_000]
+
+
+@pytest.fixture(scope="module")
+def fig7_series(correlation_profiles):
+    dense = correlation_profiles["dense"]
+    mp = correlation_profiles["mp-dense"]
+    rows = []
+    for n in SIZES:
+        ed = estimate_cholesky(dense, n, TILE, A64FX, nodes=NODES)
+        em = estimate_cholesky(mp, n, TILE, A64FX, nodes=NODES)
+        rows.append((n, ed, em))
+    return rows
+
+
+def test_fig7_artifact_and_throughput(fig7_series, write_artifact, benchmark):
+    table_rows = []
+    for n, ed, em in fig7_series:
+        table_rows.append([
+            n, ed.time_s, ed.sustained_pflops, em.time_s,
+            em.sustained_pflops, ed.time_s / em.time_s,
+        ])
+    table = format_table(
+        ["matrix_n", "fp64_s", "fp64_pflops", "mp_s", "mp_pflops",
+         "mp_speedup"],
+        table_rows,
+        title=(
+            f"Fig. 7 — dense Cholesky on {NODES} A64FX nodes, tile {TILE} "
+            "(aggregate model; FP64 vs adaptive mixed precision)"
+        ),
+        float_fmt="{:.4g}",
+    )
+    write_artifact("fig7_mp_cholesky_1024", table)
+
+    # Shape claims: FP64 efficiency is high at the large end; the MP
+    # variant is consistently faster; throughput grows with N.
+    n, ed, em = fig7_series[-1]
+    ideal = (n**3 / 3) / (NODES * 3.072e12 * 0.65)
+    assert ed.time_s <= ideal / 0.75, "FP64 efficiency must be >= 75%"
+    pf = [row[1].sustained_pflops for row in fig7_series]
+    assert pf == sorted(pf)
+    for _, ed, em in fig7_series:
+        # MP never loses; the small-N end may be chain-bound where both
+        # variants share the FP64 critical chain (ratio -> 1).
+        assert 1.0 <= ed.time_s / em.time_s < 4.0
+    _, ed_big, em_big = fig7_series[-1]
+    assert ed_big.time_s / em_big.time_s > 1.2
+
+    benchmark(
+        estimate_cholesky,
+        PlanProfile.dense_fp64(), 1_000_000, TILE, A64FX, NODES,
+    )
+
+
+def test_fig7_simulator_crosscheck(correlation_profiles, write_artifact, benchmark):
+    """At a DAG-enumerable size, the aggregate estimator and the
+    discrete-event simulator must agree within a factor ~2 (they share
+    kernel models but differ in scheduling fidelity)."""
+    from repro.runtime import SimConfig, cholesky_tasks, simulate_tasks
+    from repro.tile import TileLayout
+    from repro.tile.decisions import TilePlan
+    from repro.tile.precision import Precision
+
+    nt = 16
+    layout = TileLayout(nt * TILE, TILE)
+    plan = TilePlan(
+        layout,
+        {k: Precision.FP64 for k in layout.lower_tiles()},
+        {k: False for k in layout.lower_tiles()},
+    )
+    tasks = list(cholesky_tasks(nt))
+    trace = simulate_tasks(tasks, layout, plan, SimConfig(nodes=4))
+    est = estimate_cholesky(
+        PlanProfile.dense_fp64(), nt * TILE, TILE, A64FX, nodes=4
+    )
+    ratio = trace.makespan / est.time_s
+    write_artifact(
+        "fig7_simulator_crosscheck",
+        f"Fig. 7 companion — DAG simulator vs aggregate estimator at "
+        f"N={nt * TILE}, 4 nodes: sim {trace.makespan:.3f}s, "
+        f"estimate {est.time_s:.3f}s, ratio {ratio:.2f}",
+    )
+    assert 0.4 < ratio < 2.5
+    benchmark(lambda: simulate_tasks(tasks, layout, plan, SimConfig(nodes=4)))

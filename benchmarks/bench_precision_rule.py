@@ -1,0 +1,122 @@
+"""Precision-rule validation bench (paper Section VI-C).
+
+Validates, over a sweep of correlation regimes, the error bound the
+paper states for the Frobenius-norm adaptive precision rule:
+``||A_hat - A||_F <= u_high ||A||_F``, and times the rule itself
+(it runs once per likelihood evaluation at generation time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import MaternKernel
+from repro.ordering import order_points
+from repro.stats import format_table
+from repro.tile import (
+    TileMatrix,
+    build_planned_covariance,
+    frobenius_precision_map,
+)
+
+N, TILE = 1200, 60
+U_HIGH = 1e-8
+
+
+@pytest.fixture(scope="module")
+def demotion_sweep():
+    gen = np.random.default_rng(55)
+    x = gen.uniform(size=(N, 2))
+    x = x[order_points(x, "morton")]
+    kern = MaternKernel()
+    rows = []
+    for corr in (0.01, 0.03, 0.1, 0.3):
+        theta = np.array([1.0, corr, 0.5])
+        mat, rep = build_planned_covariance(
+            kern, theta, x, TILE, nugget=1e-8, use_mp=True,
+            mp_accuracy=U_HIGH,
+        )
+        sigma = kern.covariance_matrix(theta, x, nugget=1e-8)
+        err = np.linalg.norm(mat.to_dense() - sigma)
+        counts = mat.structure_counts()
+        total = sum(counts.values())
+        rows.append({
+            "corr": corr,
+            "err_ratio": err / rep.global_norm,
+            "fp64": counts.get("dense/FP64", 0) / total,
+            "fp32": counts.get("dense/FP32", 0) / total,
+            "fp16": counts.get("dense/FP16", 0) / total,
+            "norms": rep.tile_norms,
+            "global": rep.global_norm,
+        })
+    return rows
+
+
+def test_precision_rule_error_bound(demotion_sweep, write_artifact, benchmark):
+    table = format_table(
+        ["range", "||A_hat-A||/||A||", "bound", "frac_fp64", "frac_fp32",
+         "frac_fp16"],
+        [
+            [r["corr"], r["err_ratio"], U_HIGH, r["fp64"], r["fp32"], r["fp16"]]
+            for r in demotion_sweep
+        ],
+        title=(
+            "Precision rule — storage error vs the u_high bound and "
+            "class fractions across correlation regimes"
+        ),
+        float_fmt="{:.3g}",
+    )
+    write_artifact("precision_rule_bound", table)
+
+    for r in demotion_sweep:
+        assert r["err_ratio"] <= U_HIGH * 1.01
+    # Weaker correlation -> more demotion.
+    fp64_fracs = [r["fp64"] for r in demotion_sweep]
+    assert fp64_fracs == sorted(fp64_fracs)
+    # At least one regime demotes most tiles.
+    assert fp64_fracs[0] < 0.5
+
+    sample = demotion_sweep[0]
+    benchmark(
+        frobenius_precision_map,
+        sample["norms"], sample["global"], N // TILE,
+    )
+
+
+def test_precision_rule_tightening_accuracy(write_artifact, benchmark):
+    """Ablation: shrinking u_high monotonically reduces the storage
+    error and the number of demoted tiles."""
+    gen = np.random.default_rng(56)
+    x = gen.uniform(size=(600, 2))
+    x = x[order_points(x, "morton")]
+    kern = MaternKernel()
+    theta = np.array([1.0, 0.03, 0.5])
+    sigma = kern.covariance_matrix(theta, x, nugget=1e-8)
+    rows = []
+    for acc in (1e-4, 1e-6, 1e-8, 1e-10):
+        mat, rep = build_planned_covariance(
+            kern, theta, x, 50, nugget=1e-8, use_mp=True, mp_accuracy=acc
+        )
+        err = np.linalg.norm(mat.to_dense() - sigma) / rep.global_norm
+        counts = mat.structure_counts()
+        demoted = sum(v for k, v in counts.items() if k != "dense/FP64")
+        rows.append([acc, err, demoted])
+    write_artifact(
+        "precision_rule_tightening",
+        format_table(
+            ["u_high", "rel_storage_error", "demoted_tiles"],
+            rows,
+            title="Precision rule ablation — accuracy knob",
+            float_fmt="{:.3g}",
+        ),
+    )
+    errs = [r[1] for r in rows]
+    demoted = [r[2] for r in rows]
+    assert errs == sorted(errs, reverse=True)
+    assert demoted == sorted(demoted, reverse=True)
+    assert all(err <= acc * 1.01 for acc, err, _ in rows)
+
+    benchmark(
+        lambda: build_planned_covariance(
+            kern, theta, x, 50, nugget=1e-8, use_mp=True
+        )[0].nbytes
+    )

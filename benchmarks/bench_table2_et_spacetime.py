@@ -1,0 +1,118 @@
+"""Table II — evapotranspiration space-time dataset (Gneiting model).
+
+Six-parameter nonseparable space-time MLE on the ET surrogate with the
+three compute variants; the artifact prints the Table II layout.  The
+paper's observations reproduced here: strong spatial correlation leaves
+fewer low-precision opportunities than Table I, yet the approximate
+variants still match dense FP64 estimates and MSPE.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExaGeoStatModel
+from repro.core import loglikelihood
+from repro.data import et_surrogate
+from repro.stats import format_table
+
+N_SPACE, N_SLOTS, N_TEST, TILE = 70, 12, 100, 84
+VARIANTS = ("dense-fp64", "mp-dense", "mp-dense-tlr")
+COLUMNS = (
+    "Variance", "Range", "Smoothness", "Range-time",
+    "Smoothness-time", "Nonsep-param",
+)
+
+
+@pytest.fixture(scope="module")
+def table2_results():
+    data = et_surrogate(n_space=N_SPACE, n_slots=N_SLOTS, n_test=N_TEST,
+                        seed=77)
+    rows = {}
+    for variant in VARIANTS:
+        model = ExaGeoStatModel(
+            kernel="gneiting", variant=variant, tile_size=TILE, nugget=1e-8
+        )
+        model.fit(data.x_train, data.z_train,
+                  theta0=data.theta_true, max_iter=60)
+        rows[variant] = {
+            "theta": model.theta_.copy(),
+            "loglik": model.loglik_,
+            "mspe": model.score(data.x_test, data.z_test),
+        }
+    return data, rows
+
+
+def test_table2_artifact_and_agreement(table2_results, write_artifact, benchmark):
+    data, rows = table2_results
+    table = format_table(
+        ["Approach", *COLUMNS, "Log-Likelihood", "MSPE"],
+        [
+            [v, *r["theta"], r["loglik"], r["mspe"]]
+            for v, r in rows.items()
+        ] + [["(generating truth)", *data.theta_true, float("nan"), float("nan")]],
+        title=(
+            f"Table II — ET space-time surrogate, {N_SPACE} pixels x "
+            f"{N_SLOTS} months / {N_TEST} test (paper: ~83K x 12 / 100K; "
+            "smoothness-time clamped to 0.9, see DESIGN.md)"
+        ),
+    )
+    write_artifact("table2_et_spacetime", table)
+
+    base = rows["dense-fp64"]
+    for variant in VARIANTS[1:]:
+        r = rows[variant]
+        np.testing.assert_allclose(r["theta"], base["theta"], rtol=0.25,
+                                   atol=0.05)
+        assert r["mspe"] == pytest.approx(base["mspe"], rel=0.15)
+
+    # Nonseparability is recovered as clearly nonzero (the paper's
+    # point about not dropping the interaction parameter).
+    assert base["theta"][5] > 0.02
+
+    # Payload: one space-time likelihood under the TLR variant.
+    from repro.ordering import order_points
+
+    perm = order_points(data.x_train, "morton", space_time=True)
+    xo, zo = data.x_train[perm], data.z_train[perm]
+    benchmark(
+        lambda: loglikelihood(
+            data.kernel, data.theta_true, xo, zo,
+            tile_size=TILE, variant="mp-dense-tlr", nugget=1e-8,
+        ).value
+    )
+
+
+def test_table2_strong_space_correlation_limits_demotion(
+    table2_results, write_artifact, benchmark
+):
+    """Paper: the ET data's strong spatial correlation 'makes most of
+    the matrix values important and increases the number of dense FP64
+    tiles'.  Verify within the space-time kernel: the same
+    configuration with a 10x weaker spatial range must demote more
+    tiles than the fitted (strong) one."""
+    from repro.ordering import order_points
+
+    data, _ = table2_results
+    perm = order_points(data.x_train, "morton", space_time=True)
+    xo, zo = data.x_train[perm], data.z_train[perm]
+
+    def fp64_fraction(theta):
+        res = loglikelihood(
+            data.kernel, theta, xo, zo,
+            tile_size=TILE, variant="mp-dense", nugget=1e-8,
+        )
+        counts = res.report.plan.counts()
+        return counts.get("dense/FP64", 0) / sum(counts.values())
+
+    strong = fp64_fraction(data.theta_true)
+    weak_theta = data.theta_true.copy()
+    weak_theta[1] /= 10.0  # range-space 3.79 -> 0.38 degrees
+    weak = fp64_fraction(weak_theta)
+    write_artifact(
+        "table2_fp64_fractions",
+        "Table II companion — FP64 tile fraction under the space-time "
+        f"kernel: fitted strong spatial range {strong:.2f} vs 10x weaker "
+        f"range {weak:.2f}",
+    )
+    assert strong >= weak
+    benchmark(lambda: fp64_fraction(data.theta_true))

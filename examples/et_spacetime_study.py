@@ -1,0 +1,88 @@
+"""Evapotranspiration space-time study (paper Table II + Section VI-A).
+
+Exercises the complete pipeline the paper describes for the ET data:
+
+1. a synthetic "raw" 21-year monthly panel over a Central-Asia-shaped
+   region (climatology + linear spatial trend + space-time GRF);
+2. the paper's preprocessing: subtract the per-month 2001-2020
+   climatology, remove a per-month linear spatial trend, check
+   approximate Gaussianity;
+3. six-parameter nonseparable Gneiting MLE with the three compute
+   variants, prediction + MSPE at held-out points.
+
+Run:  python examples/et_spacetime_study.py
+"""
+
+import numpy as np
+
+from repro import ExaGeoStatModel
+from repro.data import (
+    ET_THETA,
+    detrend_linear,
+    et_raw_panel,
+    gaussianity_diagnostics,
+    monthly_climatology_residuals,
+    train_test_split,
+)
+from repro.stats import format_table, mspe
+
+N_SPACE, N_YEARS = 64, 21
+
+
+def main() -> None:
+    # --- 1-2: raw panel and preprocessing ---------------------------------
+    space, history, target = et_raw_panel(
+        n_space=N_SPACE, n_years=N_YEARS, seed=23
+    )
+    print(
+        f"raw ET-like panel: {N_YEARS - 1} history years x 12 months x "
+        f"{N_SPACE} pixels + 1 target year"
+    )
+    resid = monthly_climatology_residuals(history, target)
+    detrended = detrend_linear(resid, space)
+    diag = gaussianity_diagnostics(detrended)
+    print(
+        "after climatology removal + per-month linear detrend: "
+        f"mean {diag['mean']:+.3f}, sd {diag['std']:.3f}, "
+        f"skewness {diag['skewness']:+.3f}, "
+        f"excess kurtosis {diag['excess_kurtosis']:+.3f}\n"
+    )
+
+    # Assemble space-time observations: (x, y, month) -> residual.
+    months = np.arange(12, dtype=np.float64)
+    x_all = np.vstack([
+        np.column_stack([space, np.full(N_SPACE, m)]) for m in months
+    ])
+    z_all = detrended.reshape(-1)
+    x_train, z_train, x_test, z_test = train_test_split(
+        x_all, z_all, n_test=80, seed=29
+    )
+
+    # --- 3: MLE + prediction under each variant ---------------------------
+    rows = []
+    for variant in ("dense-fp64", "mp-dense", "mp-dense-tlr"):
+        model = ExaGeoStatModel(
+            kernel="gneiting", variant=variant, tile_size=64, nugget=1e-8
+        )
+        model.fit(x_train, z_train, theta0=ET_THETA, max_iter=60)
+        pred = model.predict(x_test)
+        rows.append([variant, *model.theta_, model.loglik_,
+                     mspe(pred.mean, z_test)])
+    print(format_table(
+        ["Approach", "Variance", "Range", "Smooth", "Range-t",
+         "Smooth-t", "Nonsep", "Log-Lik", "MSPE"],
+        rows,
+        title=(
+            "Table II reproduction (surrogate scale; smoothness-time "
+            "clamped to the Gneiting validity region — see DESIGN.md)"
+        ),
+    ))
+    print(
+        "\nNote the nonseparability estimate: dropping it (beta = 0) is "
+        "the simplification the paper warns 'may dramatically impact the "
+        "prediction accuracy'."
+    )
+
+
+if __name__ == "__main__":
+    main()

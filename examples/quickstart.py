@@ -1,0 +1,48 @@
+"""Quickstart: simulate a spatial dataset, fit it by MLE under the
+three compute variants, and predict at held-out locations.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ExaGeoStatModel, MaternKernel
+from repro.data import sample_gaussian_field, train_test_split, uniform_locations
+
+
+def main() -> None:
+    # --- simulate ---------------------------------------------------------
+    # A rough Matérn field (smoothness 0.5) with medium spatial range.
+    kernel = MaternKernel()
+    theta_true = np.array([1.0, 0.1, 0.5])  # variance, range, smoothness
+    x = uniform_locations(600, seed=1)
+    z = sample_gaussian_field(kernel, theta_true, x, seed=2)
+    x_train, z_train, x_test, z_test = train_test_split(
+        x, z, n_test=80, seed=3
+    )
+    print(f"simulated {len(x)} locations; truth theta = {theta_true}")
+
+    # --- fit + predict under each variant ----------------------------------
+    for variant in ("dense-fp64", "mp-dense", "mp-dense-tlr"):
+        model = ExaGeoStatModel(
+            kernel=kernel, variant=variant, tile_size=64
+        )
+        model.fit(x_train, z_train, theta0=theta_true, max_iter=60)
+        pred = model.predict(x_test, return_uncertainty=True)
+        mspe = float(np.mean((pred.mean - z_test) ** 2))
+        theta = ", ".join(f"{v:.4f}" for v in model.theta_)
+        print(
+            f"{variant:13s}  theta = [{theta}]  "
+            f"loglik = {model.loglik_:10.3f}  MSPE = {mspe:.4f}  "
+            f"mean predictive sd = {pred.standard_error().mean():.4f}"
+        )
+
+    print(
+        "\nAll three variants should agree closely — that is the paper's "
+        "Table I message: the adaptive approximations keep "
+        "application-level accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-build-isolation` falls back
+to `setup.py develop` when invoked with --no-use-pep517. Configuration
+lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

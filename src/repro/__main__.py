@@ -1,0 +1,139 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Version, dependency versions, machine-model summary.
+``selfcheck``
+    A fast end-to-end validation: fits the three compute variants on a
+    small surrogate, checks they agree, and prints the Table-I-style
+    rows.  Exit code 0 iff all checks pass.
+``crossover [--tile B]``
+    Print the Fig. 5 dense/TLR crossover analysis for a tile size.
+``scaling [--nodes N] [--matrix M]``
+    Fig. 10-style projection for a weak-correlation problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(_args) -> int:
+    import networkx
+    import scipy
+
+    import repro
+    from repro.perfmodel import A64FX
+
+    print(f"repro {repro.__version__}")
+    print(f"  numpy {np.__version__}, scipy {scipy.__version__}, "
+          f"networkx {networkx.__version__}")
+    print(f"  machine model: {A64FX.name}")
+    print(f"    FP64 peak {A64FX.peak_gflops} Gflop/s/node map, "
+          f"sustained efficiency {A64FX.efficiency:.0%}")
+    return 0
+
+
+def _cmd_selfcheck(_args) -> int:
+    from repro import ExaGeoStatModel
+    from repro.data import soil_moisture_surrogate
+
+    print("self-check: fitting 3 variants on a 300-point surrogate ...")
+    data = soil_moisture_surrogate(n_train=300, n_test=40, seed=1)
+    rows = {}
+    for variant in ("dense-fp64", "mp-dense", "mp-dense-tlr"):
+        model = ExaGeoStatModel(kernel="matern", variant=variant,
+                                tile_size=50)
+        model.fit(data.x_train, data.z_train,
+                  theta0=data.theta_true, max_iter=40)
+        mspe = model.score(data.x_test, data.z_test)
+        rows[variant] = (model.theta_, model.loglik_, mspe)
+        theta = ", ".join(f"{v:.4f}" for v in model.theta_)
+        print(f"  {variant:13s} theta=[{theta}] loglik={model.loglik_:.3f} "
+              f"MSPE={mspe:.4f}")
+    base_theta, base_ll, base_mspe = rows["dense-fp64"]
+    ok = True
+    for variant, (theta, ll, mspe) in rows.items():
+        if not np.allclose(theta, base_theta, rtol=0.2):
+            print(f"FAIL: {variant} parameters diverge from dense FP64")
+            ok = False
+        if abs(mspe - base_mspe) > 0.1 * base_mspe + 1e-12:
+            print(f"FAIL: {variant} MSPE diverges from dense FP64")
+            ok = False
+    print("self-check PASSED" if ok else "self-check FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_crossover(args) -> int:
+    from repro.perfmodel import A64FX, crossover_rank, gemm_ratio_curve
+
+    tile = args.tile
+    xover = crossover_rank(tile, A64FX)
+    ranks = np.linspace(max(xover // 8, 1), 2 * xover, 9, dtype=int)
+    tlr, dense, ratio = gemm_ratio_curve(tile, ranks, A64FX)
+    print(f"tile {tile}: crossover rank = {xover} "
+          "(paper Fig. 5: ~200 at tile 2700)")
+    for r, t, d, rr in zip(ranks, tlr, dense, ratio):
+        print(f"  rank {int(r):4d}: tlr {t:.4g}s dense {d:.4g}s "
+              f"ratio {rr:.2f}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.kernels import MaternKernel
+    from repro.ordering import order_points
+    from repro.perfmodel import A64FX, PlanProfile, estimate_cholesky
+    from repro.tile import build_planned_covariance
+
+    gen = np.random.default_rng(0)
+    x = gen.uniform(size=(1200, 2))
+    x = x[order_points(x, "morton")]
+    _, rep = build_planned_covariance(
+        MaternKernel(), np.array([1.0, 0.03, 0.5]), x, 60, nugget=1e-8,
+        use_mp=True, use_tlr=True, band_size=1, max_rank_fraction=0.95,
+    )
+    profile = PlanProfile.from_plan(rep.plan)
+    dense = estimate_cholesky(
+        PlanProfile.dense_fp64(), args.matrix, 2700, A64FX, nodes=args.nodes
+    )
+    tlr = estimate_cholesky(
+        profile, args.matrix, 1350, A64FX, nodes=args.nodes, band_size=2
+    )
+    print(f"N={args.matrix:,} on {args.nodes} A64FX nodes (model):")
+    print(f"  dense FP64    {dense.time_s:10.1f} s "
+          f"({dense.sustained_pflops:.2f} Pflop/s)")
+    print(f"  MP+dense/TLR  {tlr.time_s:10.1f} s "
+          f"-> speedup {dense.time_s / tlr.time_s:.1f}x, "
+          f"memory -{tlr.memory_reduction:.0%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Mixed-precision + TLR geostatistics reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="versions and machine model")
+    sub.add_parser("selfcheck", help="fast end-to-end validation")
+    p_x = sub.add_parser("crossover", help="Fig. 5 crossover analysis")
+    p_x.add_argument("--tile", type=int, default=2700)
+    p_s = sub.add_parser("scaling", help="Fig. 10-style projection")
+    p_s.add_argument("--nodes", type=int, default=4096)
+    p_s.add_argument("--matrix", type=int, default=4_000_000)
+    args = parser.parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "selfcheck": _cmd_selfcheck,
+        "crossover": _cmd_crossover,
+        "scaling": _cmd_scaling,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Package-wide default constants.
+
+These mirror the knobs the paper exposes: tile size, TLR accuracy
+tolerance, the precision ladder, and the fluctuation factor of the
+band-size auto-tuner (Algorithm 2).  All are plain module-level
+constants; functions that consume them accept explicit overrides so the
+defaults never have to be mutated globally.
+"""
+
+from __future__ import annotations
+
+#: Default tile (block) size for tiled algorithms at laptop scale.  The
+#: paper uses 800 (Fig. 7) and 2700 (Fig. 9) on Fugaku; numeric tests in
+#: this repo run at much smaller matrix sizes so the default is smaller.
+DEFAULT_TILE_SIZE: int = 64
+
+#: Accuracy threshold for TLR compression.  Matches the paper
+#: (Section VI.B: "set to 1e-8 for this application").
+DEFAULT_TLR_TOLERANCE: float = 1.0e-8
+
+#: Maximum admissible rank of a compressed tile, as a fraction of the
+#: tile size.  Beyond this, storing the tile dense is always cheaper.
+DEFAULT_MAX_RANK_FRACTION: float = 0.5
+
+#: Algorithm 2 "fluctuation" multiplier: the dense band keeps growing
+#: while ``time_dense < fluctuation * time_tlr`` on the sub-diagonal.
+DEFAULT_BAND_FLUCTUATION: float = 1.0
+
+#: Small diagonal regularization ("nugget") added when sampling exact
+#: Gaussian random fields, to guard against loss of positive
+#: definiteness at very small distances.
+DEFAULT_SAMPLING_JITTER: float = 1.0e-10
+
+#: Default seed used by deterministic data generators.
+DEFAULT_SEED: int = 20220101
+
+#: Number of right-hand sides predicted per solve batch in the kriging
+#: path (keeps peak memory bounded for large test sets).
+PREDICT_BATCH: int = 4096

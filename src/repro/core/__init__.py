@@ -1,0 +1,42 @@
+"""The paper's contribution, user-facing: variants, likelihood, MLE,
+prediction, and the :class:`~repro.core.model.ExaGeoStatModel` API."""
+
+from .likelihood import (
+    LikelihoodResult,
+    loglikelihood,
+    loglikelihood_dense_reference,
+    loglikelihood_replicated,
+)
+from .mle import MLEResult, fit_mle
+from .model import ExaGeoStatModel
+from .prediction import PredictionResult, kriging_predict
+from .simulation import conditional_simulation
+from .uq import (
+    MLEUncertainty,
+    mle_uncertainty,
+    observed_information,
+    profile_likelihood,
+)
+from .variants import DENSE_FP64, MP_DENSE, MP_DENSE_TLR, VariantConfig, get_variant
+
+__all__ = [
+    "ExaGeoStatModel",
+    "VariantConfig",
+    "DENSE_FP64",
+    "MP_DENSE",
+    "MP_DENSE_TLR",
+    "get_variant",
+    "loglikelihood",
+    "loglikelihood_replicated",
+    "loglikelihood_dense_reference",
+    "LikelihoodResult",
+    "fit_mle",
+    "MLEResult",
+    "kriging_predict",
+    "conditional_simulation",
+    "MLEUncertainty",
+    "mle_uncertainty",
+    "observed_information",
+    "profile_likelihood",
+    "PredictionResult",
+]

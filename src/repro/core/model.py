@@ -1,0 +1,240 @@
+"""High-level public API: :class:`ExaGeoStatModel`.
+
+This is the ExaGeoStat-style workflow the paper ships to
+statisticians: configure a kernel and a compute variant, ``fit`` by
+MLE, ``predict`` (with uncertainty) at new locations.
+
+    >>> from repro import ExaGeoStatModel
+    >>> model = ExaGeoStatModel(kernel="matern", variant="mp-dense-tlr")
+    >>> model.fit(x, z, theta0=[1.0, 0.1, 0.5])     # doctest: +SKIP
+    >>> pred = model.predict(x_new, return_uncertainty=True)  # doctest: +SKIP
+
+The model handles the locality-preserving reordering internally
+(Morton by default) — the user never sees permuted data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ReproError, ShapeError
+from ..kernels import (
+    AnisotropicMaternKernel,
+    BivariateMaternKernel,
+    GneitingMaternKernel,
+    MaternKernel,
+)
+from ..kernels.base import CovarianceKernel
+from ..kernels.distance import as_locations
+from ..ordering import order_points
+from ..tile.matrix import TileMatrix
+from .likelihood import LikelihoodResult, loglikelihood
+from .mle import MLEResult, fit_mle
+from .prediction import PredictionResult, kriging_predict
+from .variants import VariantConfig, get_variant
+
+__all__ = ["ExaGeoStatModel"]
+
+_KERNEL_ALIASES = {
+    "matern": MaternKernel,
+    "gneiting": GneitingMaternKernel,
+    "matern-space-time": GneitingMaternKernel,
+    "anisotropic": AnisotropicMaternKernel,
+    "bivariate": BivariateMaternKernel,
+}
+
+
+def _resolve_kernel(kernel: "str | CovarianceKernel") -> CovarianceKernel:
+    if isinstance(kernel, CovarianceKernel):
+        return kernel
+    try:
+        return _KERNEL_ALIASES[kernel.lower()]()
+    except KeyError:
+        raise ShapeError(
+            f"unknown kernel {kernel!r}; aliases: {sorted(_KERNEL_ALIASES)}"
+        ) from None
+
+
+class ExaGeoStatModel:
+    """Geostatistical model: MLE fitting + kriging prediction under a
+    chosen compute variant.
+
+    Parameters
+    ----------
+    kernel:
+        A :class:`~repro.kernels.base.CovarianceKernel` or an alias
+        (``"matern"``, ``"gneiting"``).
+    variant:
+        Compute variant name or :class:`VariantConfig`
+        (``"dense-fp64"``, ``"mp-dense"``, ``"mp-dense-tlr"``).
+    tile_size:
+        Tile size of the underlying tiled algorithms.
+    ordering:
+        Location ordering (``"morton"``, ``"hilbert"``, ``"none"``,
+        ``"random"``); the covariance structure the adaptive decisions
+        exploit depends on it.
+    nugget:
+        Fixed diagonal regularization added to the covariance.
+    """
+
+    def __init__(
+        self,
+        kernel: "str | CovarianceKernel" = "matern",
+        variant: "str | VariantConfig" = "dense-fp64",
+        *,
+        tile_size: int = 64,
+        ordering: str = "morton",
+        nugget: float = 0.0,
+    ):
+        self.kernel = _resolve_kernel(kernel)
+        self.variant = get_variant(variant)
+        self.tile_size = int(tile_size)
+        self.ordering = ordering
+        self.nugget = float(nugget)
+
+        self.theta_: np.ndarray | None = None
+        self.loglik_: float | None = None
+        self.result_: MLEResult | None = None
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+        self._factor: TileMatrix | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        return self.theta_ is not None
+
+    def _require_fit(self) -> None:
+        if not self.fitted:
+            raise ReproError("model is not fitted; call fit() first")
+
+    def _ordered(self, x: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = as_locations(x, dim=self.kernel.ndim_locations)
+        z = np.asarray(z, dtype=np.float64).ravel()
+        if len(x) != len(z):
+            raise ShapeError("x and z lengths differ")
+        # Space-time and multivariate kernels carry a non-spatial last
+        # column (time / variable id): order by the spatial curve with
+        # that column as the secondary key.
+        space_time = isinstance(
+            self.kernel, (GneitingMaternKernel, BivariateMaternKernel)
+        )
+        perm = order_points(x, self.ordering, space_time=space_time)
+        return x[perm], z[perm]
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        z: np.ndarray,
+        *,
+        theta0: np.ndarray | None = None,
+        max_iter: int = 150,
+        **mle_kwargs,
+    ) -> "ExaGeoStatModel":
+        """Estimate kernel parameters by maximum likelihood."""
+        xo, zo = self._ordered(x, z)
+        result = fit_mle(
+            self.kernel, xo, zo,
+            tile_size=self.tile_size, variant=self.variant,
+            theta0=theta0, nugget=self.nugget, max_iter=max_iter,
+            **mle_kwargs,
+        )
+        self.result_ = result
+        self.theta_ = result.theta
+        self.loglik_ = result.loglik
+        self._x, self._z = xo, zo
+        self._factor = None  # recomputed lazily at the fitted theta
+        return self
+
+    def set_params(self, theta: np.ndarray, x: np.ndarray, z: np.ndarray) -> "ExaGeoStatModel":
+        """Skip fitting: install known parameters and training data
+        (used when parameters come from a prior study)."""
+        self.theta_ = self.kernel.validate_theta(theta)
+        self._x, self._z = self._ordered(x, z)
+        self.result_ = None
+        self.loglik_ = None
+        self._factor = None
+        return self
+
+    def _likelihood_at_fit(self) -> LikelihoodResult:
+        self._require_fit()
+        result = loglikelihood(
+            self.kernel, self.theta_, self._x, self._z,
+            tile_size=self.tile_size, variant=self.variant,
+            nugget=self.nugget,
+        )
+        self.loglik_ = result.value
+        return result
+
+    def _ensure_factor(self) -> TileMatrix:
+        if self._factor is None:
+            self._factor = self._likelihood_at_fit().factor
+        return self._factor
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, x_new: np.ndarray, *, return_uncertainty: bool = False
+    ) -> PredictionResult:
+        """Kriging prediction (Eq. 4) and uncertainty (Eq. 5) at new
+        locations, using the fitted parameters."""
+        self._require_fit()
+        factor = self._ensure_factor()
+        return kriging_predict(
+            self.kernel, self.theta_, self._x, self._z,
+            as_locations(x_new, dim=self.kernel.ndim_locations),
+            factor,
+            return_uncertainty=return_uncertainty,
+        )
+
+    def simulate(
+        self, x_new: np.ndarray, *, size: int = 1, seed: int | None = None
+    ) -> np.ndarray:
+        """Conditional simulation at new locations (Eq. 3): posterior
+        field draws honoring both the data and the fitted covariance."""
+        from .simulation import conditional_simulation
+
+        self._require_fit()
+        factor = self._ensure_factor()
+        return conditional_simulation(
+            self.kernel, self.theta_, self._x, self._z,
+            as_locations(x_new, dim=self.kernel.ndim_locations),
+            factor, size=size, seed=seed,
+        )
+
+    def uncertainty(self, *, level: float = 0.95, rel_step: float = 1e-3):
+        """Asymptotic uncertainty of the fitted parameters (observed
+        information; Wald intervals at ``level``)."""
+        from .uq import mle_uncertainty
+
+        self._require_fit()
+        return mle_uncertainty(
+            self.kernel, self.theta_, self._x, self._z,
+            tile_size=self.tile_size, variant=self.variant,
+            nugget=self.nugget, level=level, rel_step=rel_step,
+        )
+
+    def score(self, x_test: np.ndarray, z_test: np.ndarray) -> float:
+        """Mean squared prediction error on held-out data (the paper's
+        MSPE column)."""
+        pred = self.predict(x_test)
+        z_test = np.asarray(z_test, dtype=np.float64).ravel()
+        if z_test.shape != pred.mean.shape:
+            raise ShapeError("z_test length does not match x_test")
+        return float(np.mean((pred.mean - z_test) ** 2))
+
+    def summary(self) -> dict:
+        """Fit summary in the layout of the paper's Tables I/II."""
+        self._require_fit()
+        out = {
+            "variant": self.variant.name,
+            "kernel": type(self.kernel).__name__,
+            "n": 0 if self._x is None else len(self._x),
+            "loglik": self.loglik_,
+        }
+        for name, value in zip(self.kernel.param_names, self.theta_):
+            out[name] = float(value)
+        if self.result_ is not None:
+            out["nfev"] = self.result_.nfev
+            out["converged"] = self.result_.converged
+        return out

@@ -1,0 +1,84 @@
+"""Kriging prediction and uncertainty (paper Eqs. 4-5).
+
+Given the factor ``L`` of the training covariance ``Sigma_nn``:
+
+* prediction   ``z_m = Sigma_mn Sigma_nn^{-1} z_n``           (Eq. 4)
+* uncertainty  ``U_m = diag(Sigma_mm - Sigma_mn Sigma_nn^{-1} Sigma_nm)``
+                                                              (Eq. 5)
+
+Both reduce to triangular solves with the tiled factor.  Test locations
+are processed in batches so peak memory stays at
+``n_train x batch`` cross-covariance blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PREDICT_BATCH
+from ..exceptions import ShapeError
+from ..kernels.base import CovarianceKernel
+from ..kernels.distance import as_locations
+from ..tile.matrix import TileMatrix
+from ..tile.solve import backward_solve, forward_solve
+
+__all__ = ["PredictionResult", "kriging_predict"]
+
+
+@dataclass
+class PredictionResult:
+    """Predictions (and optional variances) at the test locations."""
+
+    mean: np.ndarray
+    variance: np.ndarray | None = None
+
+    def standard_error(self) -> np.ndarray:
+        if self.variance is None:
+            raise ShapeError("prediction was run without uncertainty")
+        return np.sqrt(np.maximum(self.variance, 0.0))
+
+
+def kriging_predict(
+    kernel: CovarianceKernel,
+    theta: np.ndarray,
+    x_train: np.ndarray,
+    z_train: np.ndarray,
+    x_test: np.ndarray,
+    factor: TileMatrix,
+    *,
+    return_uncertainty: bool = False,
+    batch: int = PREDICT_BATCH,
+) -> PredictionResult:
+    """Predict at ``x_test`` given a factored training covariance.
+
+    ``factor`` must be the tile Cholesky factor of
+    ``Sigma_nn(theta)`` over ``x_train`` (as produced by the
+    likelihood evaluation at the fitted parameters).
+    """
+    x_train = as_locations(x_train)
+    x_test = as_locations(x_test)
+    if x_train.shape[1] != x_test.shape[1]:
+        raise ShapeError("train and test locations have different dimensions")
+    z = np.asarray(z_train, dtype=np.float64).ravel()
+    if z.shape[0] != len(x_train):
+        raise ShapeError("z_train length does not match x_train")
+    if factor.n != len(x_train):
+        raise ShapeError("factor dimension does not match x_train")
+
+    # w = Sigma_nn^{-1} z via the two triangular solves.
+    weights = backward_solve(factor, forward_solve(factor, z))
+
+    m = len(x_test)
+    mean = np.empty(m, dtype=np.float64)
+    variance = np.empty(m, dtype=np.float64) if return_uncertainty else None
+    marginal = kernel.variance(theta)
+    for start in range(0, m, batch):
+        stop = min(start + batch, m)
+        cross = kernel(theta, x_train, x_test[start:stop])  # (n, mb)
+        mean[start:stop] = cross.T @ weights
+        if variance is not None:
+            half = forward_solve(factor, cross)  # L^{-1} Sigma_nm
+            variance[start:stop] = marginal - np.einsum("ij,ij->j", half, half)
+    return PredictionResult(mean=mean, variance=variance)

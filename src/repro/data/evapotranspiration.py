@@ -1,0 +1,151 @@
+"""Evapotranspiration (ET) space-time surrogate (paper Table II).
+
+The paper's ET data: ~83K Central-Asia pixels x 12 monthly fields of
+2021 residuals (after removing the 2001-2020 monthly climatology and a
+per-month linear spatial trend).  The surrogate draws an exact
+space-time Gaussian random field with the covariance the paper
+*estimated* on the real residuals (Table II, dense FP64 row):
+
+    theta = (1.0087, 3.7904, 0.3164, 0.0101, 3.4941, 0.1860)
+            (variance, range-space, smoothness-space, range-time,
+             smoothness-time, nonseparability)
+
+i.e. strong spatial correlation, medium space-time interaction — the
+regime where the paper observes fewer low-precision opportunities.
+
+**Substitution note**: the published smoothness-time 3.4941 violates
+the Gneiting validity constraint ``alpha in (0, 1]`` and makes Eq. (6)
+as printed strongly indefinite (lambda_min ~ -13 on a monthly lattice),
+so the *generating* vector used here clamps it to 0.9
+(:data:`ET_THETA`); the verbatim published vector is kept as
+:data:`ET_THETA_PAPER` for the record.
+
+``raw=True`` additionally returns a synthetic 21-year "raw" panel so
+the preprocessing pipeline (climatology removal + linear detrend) can
+be exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_SEED
+from ..kernels.gneiting import GneitingMaternKernel
+from .locations import space_time_locations
+from .split import train_test_split
+from .synthetic import sample_gaussian_field
+
+__all__ = [
+    "ET_THETA",
+    "ET_THETA_PAPER",
+    "SpaceTimeDataset",
+    "et_surrogate",
+    "et_raw_panel",
+]
+
+#: Table II (dense FP64 row), verbatim — NOT a valid Gneiting
+#: parameter vector (see module docstring); kept for the record.
+ET_THETA_PAPER = np.array([1.0087, 3.7904, 0.3164, 0.0101, 3.4941, 0.1860])
+
+#: Generating vector of the surrogate: Table II with smoothness-time
+#: clamped into the validity region.
+ET_THETA = np.array([1.0087, 3.7904, 0.3164, 0.0101, 0.9, 0.1860])
+
+#: The ET data has 12 monthly fields (paper Section VI-A).
+N_MONTHS = 12
+
+
+@dataclass
+class SpaceTimeDataset:
+    """Space-time train/test split with its generating truth."""
+
+    x_train: np.ndarray
+    z_train: np.ndarray
+    x_test: np.ndarray
+    z_test: np.ndarray
+    theta_true: np.ndarray
+    kernel: GneitingMaternKernel
+    label: str = ""
+
+    @property
+    def n_train(self) -> int:
+        return len(self.x_train)
+
+
+def et_surrogate(
+    n_space: int = 84,
+    n_slots: int = N_MONTHS,
+    n_test: int = 100,
+    *,
+    seed: int = DEFAULT_SEED,
+    jitter: float = 1.0e-6,
+) -> SpaceTimeDataset:
+    """Central-Asia ET surrogate: ``n_space`` pixels x ``n_slots``
+    months, random 100-point holdout (scaled from the paper's
+    1M train / 100K test).
+
+    ``jitter`` regularizes sampling: the fitted ``alpha = 3.49`` lies
+    outside Gneiting's validity region, so positive definiteness is
+    empirical, not guaranteed (see module docstring of
+    :mod:`repro.kernels.gneiting`).
+    """
+    kernel = GneitingMaternKernel()
+    x = space_time_locations(
+        n_space, n_slots, seed=seed, region="central_asia", time_step=1.0
+    )
+    z = sample_gaussian_field(kernel, ET_THETA, x, seed=seed + 3, jitter=jitter)
+    x_train, z_train, x_test, z_test = train_test_split(
+        x, z, n_test=n_test, seed=seed + 11
+    )
+    return SpaceTimeDataset(
+        x_train=x_train,
+        z_train=z_train,
+        x_test=x_test,
+        z_test=z_test,
+        theta_true=ET_THETA.copy(),
+        kernel=kernel,
+        label=f"et-surrogate-{n_space}x{n_slots}",
+    )
+
+
+def et_raw_panel(
+    n_space: int = 84,
+    n_years: int = 21,
+    *,
+    seed: int = DEFAULT_SEED,
+    trend_scale: float = 0.5,
+    climatology_scale: float = 2.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic raw ET panel for exercising the preprocessing chain.
+
+    Returns ``(locations, history, target)`` with ``history`` shaped
+    ``(n_years - 1, 12, n_space)`` and ``target`` ``(12, n_space)``:
+    each month carries a fixed climatology, a linear spatial trend, and
+    a GRF residual — so climatology-removal + detrending recovers an
+    approximately stationary zero-mean field, like the paper's 2021
+    residuals.
+    """
+    rng = np.random.default_rng(seed)
+    kernel = GneitingMaternKernel()
+    x = space_time_locations(
+        n_space, N_MONTHS, seed=seed, region="central_asia", time_step=1.0
+    )
+    space = x[:n_space, :2]
+
+    climatology = climatology_scale * rng.standard_normal((N_MONTHS, n_space))
+    slope = trend_scale * rng.standard_normal((N_MONTHS, 2))
+    trend = np.stack([space @ slope[m] for m in range(N_MONTHS)])
+
+    def one_year(year_seed: int) -> np.ndarray:
+        resid = sample_gaussian_field(
+            kernel, ET_THETA, x, seed=year_seed, jitter=1e-6
+        )
+        return climatology + trend + resid.reshape(N_MONTHS, n_space)
+
+    history = np.stack(
+        [one_year(seed + 100 + y) for y in range(n_years - 1)]
+    )
+    target = one_year(seed + 100 + n_years - 1)
+    return space, history, target

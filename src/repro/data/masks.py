@@ -1,0 +1,69 @@
+"""Structured missing-data patterns.
+
+The paper's prediction experiments hold out random subsets; real
+remote-sensing data is missing in *structured* ways (cloud cover,
+swath gaps).  These helpers build both patterns so prediction studies
+can compare the easy and the hard regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..kernels.distance import as_locations
+
+__all__ = ["random_mask", "disk_mask", "band_mask", "apply_mask"]
+
+
+def random_mask(n: int, fraction: float, *, seed: int | None = None) -> np.ndarray:
+    """Boolean mask with ~``fraction`` of entries True (missing)."""
+    if not 0.0 < fraction < 1.0:
+        raise ShapeError("fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(fraction * n)))
+    mask = np.zeros(n, dtype=bool)
+    mask[rng.choice(n, size=k, replace=False)] = True
+    return mask
+
+
+def disk_mask(
+    x: np.ndarray, center: np.ndarray, radius: float
+) -> np.ndarray:
+    """Mask of points within ``radius`` of ``center`` — a cloud-shaped
+    gap."""
+    pts = as_locations(x)
+    c = np.asarray(center, dtype=np.float64).ravel()
+    if c.shape[0] != pts.shape[1]:
+        raise ShapeError("center dimension mismatch")
+    if radius <= 0:
+        raise ShapeError("radius must be positive")
+    return np.linalg.norm(pts - c, axis=1) <= radius
+
+
+def band_mask(
+    x: np.ndarray, *, axis: int = 0, low: float = 0.4, high: float = 0.6
+) -> np.ndarray:
+    """Mask of points whose ``axis`` coordinate falls in
+    ``[low, high]`` — a swath-gap pattern."""
+    pts = as_locations(x)
+    if not 0 <= axis < pts.shape[1]:
+        raise ShapeError("axis out of range")
+    if low >= high:
+        raise ShapeError("low must be < high")
+    return (pts[:, axis] >= low) & (pts[:, axis] <= high)
+
+
+def apply_mask(
+    x: np.ndarray, z: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(x, z)`` into observed (mask False) and missing (True)
+    parts: ``(x_obs, z_obs, x_miss, z_miss)``."""
+    pts = as_locations(x)
+    vals = np.asarray(z, dtype=np.float64).ravel()
+    m = np.asarray(mask, dtype=bool).ravel()
+    if len(pts) != len(vals) or len(m) != len(vals):
+        raise ShapeError("x, z, mask lengths differ")
+    if m.all() or not m.any():
+        raise ShapeError("mask must leave both observed and missing points")
+    return pts[~m], vals[~m], pts[m], vals[m]

@@ -1,0 +1,36 @@
+"""Train/test splitting of spatial datasets.
+
+The paper holds out 100K of ~2M soil-moisture locations (and 100K ET
+space-time points) for prediction scoring; :func:`train_test_split`
+reproduces that protocol at any size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    x: np.ndarray,
+    z: np.ndarray,
+    *,
+    n_test: int,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into ``(x_train, z_train, x_test, z_test)``."""
+    x = np.asarray(x)
+    z = np.asarray(z, dtype=np.float64).ravel()
+    n = len(x)
+    if len(z) != n:
+        raise ShapeError("x and z lengths differ")
+    if not 0 < n_test < n:
+        raise ShapeError(f"n_test must be in (0, {n}), got {n_test}")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    test_idx = np.sort(perm[:n_test])
+    train_idx = np.sort(perm[n_test:])
+    return x[train_idx], z[train_idx], x[test_idx], z[test_idx]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch the package's failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A covariance/model parameter vector is invalid (wrong length,
+    out of bounds, non-finite, ...)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape."""
+
+
+class NotPositiveDefiniteError(ReproError, ArithmeticError):
+    """A matrix expected to be symmetric positive definite failed a
+    Cholesky factorization.
+
+    Attributes
+    ----------
+    tile_index:
+        Index ``(k, k)`` of the diagonal tile whose local factorization
+        failed, or ``None`` when the failure was detected on a full
+        (untiled) matrix.
+    """
+
+    def __init__(self, message: str, tile_index: tuple[int, int] | None = None):
+        super().__init__(message)
+        self.tile_index = tile_index
+
+
+class CompressionError(ReproError, ArithmeticError):
+    """Low-rank compression could not reach the requested tolerance
+    within the allowed maximum rank."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """The task DAG is inconsistent (cycle, missing producer, ...)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative optimizer stopped before meeting its tolerance."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """An optimizer failed in a way that cannot be expressed as a
+    (valid but unconverged) result."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A compute-variant / runtime configuration is inconsistent."""

@@ -1,0 +1,54 @@
+"""Programmatic drivers for the paper's experiments.
+
+The benches under ``benchmarks/`` assert the paper's claims; these
+drivers expose the same studies as a library API so users can rerun
+them at any size:
+
+    from repro.experiments import run_table1, run_space_scaling, measure_profile
+
+    print(run_table1(n_train=600).table())
+    profile = measure_profile(0.03, label="weak")
+    print(run_space_scaling(profile, matrix_n=4_000_000).table())
+"""
+
+from .accuracy import (
+    DEFAULT_VARIANTS,
+    AccuracyStudy,
+    Fig6Study,
+    VariantRow,
+    run_fig6,
+    run_table1,
+    run_table2,
+)
+from .kernels_and_maps import (
+    CrossoverStudy,
+    DecisionMapStudy,
+    run_fig5,
+    run_fig9,
+)
+from .scaling import (
+    ScalingStudy,
+    measure_profile,
+    measure_spacetime_profile,
+    run_space_scaling,
+    run_spacetime_scaling,
+)
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_fig6",
+    "AccuracyStudy",
+    "Fig6Study",
+    "VariantRow",
+    "DEFAULT_VARIANTS",
+    "measure_profile",
+    "run_fig5",
+    "run_fig9",
+    "CrossoverStudy",
+    "DecisionMapStudy",
+    "measure_spacetime_profile",
+    "run_space_scaling",
+    "run_spacetime_scaling",
+    "ScalingStudy",
+]

@@ -1,0 +1,198 @@
+"""Accuracy experiment drivers (Tables I-II, Fig. 6).
+
+These are the programmatic versions of the paper's accuracy studies:
+call with a size, get back a structured result with a rendered table —
+the benches, examples, and user scripts all share this one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.model import ExaGeoStatModel
+from ..data.evapotranspiration import et_surrogate
+from ..data.soil_moisture import soil_moisture_surrogate
+from ..data.synthetic import CORRELATION_RANGES, simulate_matern_dataset
+from ..stats.summaries import boxplot_summary, format_table
+
+__all__ = [
+    "VariantRow",
+    "AccuracyStudy",
+    "run_table1",
+    "run_table2",
+    "Fig6Study",
+    "run_fig6",
+    "DEFAULT_VARIANTS",
+]
+
+DEFAULT_VARIANTS = ("dense-fp64", "mp-dense", "mp-dense-tlr")
+
+
+@dataclass
+class VariantRow:
+    """One fitted variant."""
+
+    variant: str
+    theta: np.ndarray
+    loglik: float
+    mspe: float
+
+
+@dataclass
+class AccuracyStudy:
+    """A Table I/II style study."""
+
+    label: str
+    rows: list[VariantRow]
+    theta_true: np.ndarray
+    param_names: tuple[str, ...]
+
+    def table(self) -> str:
+        headers = ["Approach", *self.param_names, "Log-Likelihood", "MSPE"]
+        body = [
+            [r.variant, *r.theta, r.loglik, r.mspe] for r in self.rows
+        ] + [["(generating truth)", *self.theta_true, float("nan"),
+              float("nan")]]
+        return format_table(headers, body, title=self.label)
+
+    def max_theta_spread(self) -> float:
+        """Largest relative disagreement of any variant against the
+        first (reference) variant — the Table I/II 'variants agree'
+        quantity."""
+        base = self.rows[0].theta
+        spread = 0.0
+        for r in self.rows[1:]:
+            rel = np.abs(r.theta - base) / np.maximum(np.abs(base), 1e-12)
+            spread = max(spread, float(rel.max()))
+        return spread
+
+
+def _fit_variants(dataset, kernel_name, variants, tile_size, max_iter, nugget):
+    rows = []
+    for variant in variants:
+        model = ExaGeoStatModel(
+            kernel=kernel_name, variant=variant, tile_size=tile_size,
+            nugget=nugget,
+        )
+        model.fit(dataset.x_train, dataset.z_train,
+                  theta0=dataset.theta_true, max_iter=max_iter)
+        rows.append(VariantRow(
+            variant=variant,
+            theta=model.theta_.copy(),
+            loglik=float(model.loglik_),
+            mspe=model.score(dataset.x_test, dataset.z_test),
+        ))
+    return rows
+
+
+def run_table1(
+    n_train: int = 900,
+    n_test: int = 100,
+    *,
+    tile_size: int = 100,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    max_iter: int = 60,
+    seed: int = 42,
+) -> AccuracyStudy:
+    """The soil-moisture accuracy study (paper Table I)."""
+    data = soil_moisture_surrogate(n_train=n_train, n_test=n_test, seed=seed)
+    rows = _fit_variants(data, "matern", variants, tile_size, max_iter, 0.0)
+    return AccuracyStudy(
+        label=f"Table I — soil-moisture surrogate ({n_train}/{n_test})",
+        rows=rows,
+        theta_true=data.theta_true,
+        param_names=("Variance", "Range", "Smoothness"),
+    )
+
+
+def run_table2(
+    n_space: int = 70,
+    n_slots: int = 12,
+    n_test: int = 100,
+    *,
+    tile_size: int = 84,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    max_iter: int = 60,
+    seed: int = 77,
+) -> AccuracyStudy:
+    """The ET space-time accuracy study (paper Table II)."""
+    data = et_surrogate(n_space=n_space, n_slots=n_slots, n_test=n_test,
+                        seed=seed)
+    rows = _fit_variants(data, "gneiting", variants, tile_size, max_iter, 1e-8)
+    return AccuracyStudy(
+        label=(
+            f"Table II — ET space-time surrogate ({n_space}x{n_slots}/"
+            f"{n_test})"
+        ),
+        rows=rows,
+        theta_true=data.theta_true,
+        param_names=(
+            "Variance", "Range", "Smoothness", "Range-time",
+            "Smoothness-time", "Nonsep-param",
+        ),
+    )
+
+
+@dataclass
+class Fig6Study:
+    """Parameter-recovery boxplot study."""
+
+    estimates: dict = field(default_factory=dict)
+    reps: int = 0
+    n: int = 0
+
+    def summary_rows(self) -> list[list[object]]:
+        names = ("variance", "range", "smoothness")
+        rows = []
+        for corr, per_variant in self.estimates.items():
+            truth = {"variance": 1.0,
+                     "range": CORRELATION_RANGES[corr],
+                     "smoothness": 0.5}
+            for variant, thetas in per_variant.items():
+                for p, pname in enumerate(names):
+                    s = boxplot_summary(np.asarray(thetas)[:, p])
+                    rows.append([corr, variant, pname, truth[pname],
+                                 s.q1, s.median, s.q3])
+        return rows
+
+    def table(self) -> str:
+        return format_table(
+            ["correlation", "variant", "parameter", "truth", "q1",
+             "median", "q3"],
+            self.summary_rows(),
+            title=(
+                f"Fig. 6 — recovery over {self.reps} replicates of "
+                f"{self.n}-location fields"
+            ),
+        )
+
+
+def run_fig6(
+    reps: int = 10,
+    n: int = 256,
+    *,
+    tile_size: int = 64,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    correlations: tuple[str, ...] = ("weak", "medium", "strong"),
+    max_iter: int = 40,
+    seed: int = 5000,
+) -> Fig6Study:
+    """The synthetic parameter-recovery study (paper Fig. 6)."""
+    from ..core.mle import fit_mle
+
+    study = Fig6Study(reps=reps, n=n)
+    for corr in correlations:
+        study.estimates[corr] = {v: [] for v in variants}
+        for rep in range(reps):
+            data = simulate_matern_dataset(n, corr, seed=seed + rep)
+            for variant in variants:
+                res = fit_mle(
+                    data.kernel, data.x, data.z,
+                    tile_size=tile_size, variant=variant,
+                    theta0=data.theta_true, max_iter=max_iter,
+                )
+                study.estimates[corr][variant].append(res.theta)
+    return study

@@ -1,0 +1,128 @@
+"""Covariance-kernel interface.
+
+A kernel maps a parameter vector ``theta`` and two location sets to a
+cross-covariance matrix.  Kernels are *stateless*: parameters are always
+passed explicitly, which is what the MLE loop needs (it re-evaluates the
+same kernel at many ``theta``).
+
+Every kernel publishes a tuple of :class:`ParameterSpec` so optimizers
+can derive bounds/transforms and reports (Tables I and II of the paper)
+can label estimates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .distance import as_locations
+
+__all__ = ["ParameterSpec", "CovarianceKernel", "check_theta"]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Description of one scalar kernel parameter.
+
+    ``lower``/``upper`` are *open* bounds used by the optimizer's
+    parameter transform; ``default`` seeds optimizers when the caller
+    provides no initial guess.
+    """
+
+    name: str
+    lower: float
+    upper: float
+    default: float
+
+    def contains(self, value: float) -> bool:
+        return bool(self.lower < value < self.upper) and np.isfinite(value)
+
+
+def check_theta(theta: np.ndarray, specs: tuple[ParameterSpec, ...]) -> np.ndarray:
+    """Validate ``theta`` against ``specs`` and return it as float64."""
+    arr = np.asarray(theta, dtype=np.float64).ravel()
+    if arr.shape[0] != len(specs):
+        raise ParameterError(
+            f"expected {len(specs)} parameters "
+            f"({', '.join(s.name for s in specs)}), got {arr.shape[0]}"
+        )
+    for value, spec in zip(arr, specs):
+        if not spec.contains(value):
+            raise ParameterError(
+                f"parameter {spec.name}={value!r} outside ({spec.lower}, {spec.upper})"
+            )
+    return arr
+
+
+class CovarianceKernel(abc.ABC):
+    """Abstract stationary covariance kernel.
+
+    Subclasses implement :meth:`_cross` on validated inputs.  The public
+    entry points are :meth:`__call__` (cross-covariance between two
+    location sets) and :meth:`covariance_matrix` (symmetric matrix for
+    one set, exact-zero-distance diagonal handled).
+    """
+
+    #: Expected number of columns of the location arrays (e.g. 2 for 2-D
+    #: space, 3 for 2-D space + time).  ``None`` means any.
+    ndim_locations: int | None = None
+
+    @property
+    @abc.abstractmethod
+    def param_specs(self) -> tuple[ParameterSpec, ...]:
+        """Ordered parameter specifications."""
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.param_specs)
+
+    @property
+    def nparams(self) -> int:
+        return len(self.param_specs)
+
+    def default_theta(self) -> np.ndarray:
+        return np.array([s.default for s in self.param_specs], dtype=np.float64)
+
+    def validate_theta(self, theta: np.ndarray) -> np.ndarray:
+        return check_theta(theta, self.param_specs)
+
+    @abc.abstractmethod
+    def _cross(
+        self, theta: np.ndarray, x1: np.ndarray, x2: np.ndarray
+    ) -> np.ndarray:
+        """Cross-covariance on validated ``theta`` and locations."""
+
+    def __call__(
+        self, theta: np.ndarray, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cross-covariance matrix ``C[i, j] = cov(Z(x1_i), Z(x2_j))``."""
+        theta = self.validate_theta(theta)
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        x2 = x1 if x2 is None else as_locations(x2, dim=self.ndim_locations)
+        return self._cross(theta, x1, x2)
+
+    def covariance_matrix(
+        self, theta: np.ndarray, x: np.ndarray, *, nugget: float = 0.0
+    ) -> np.ndarray:
+        """Symmetric covariance matrix of one location set.
+
+        ``nugget`` adds a diagonal micro-scale variance (also a common
+        numerical regularizer when sampling).
+        """
+        c = self(theta, x)
+        c = 0.5 * (c + c.T)  # enforce exact symmetry
+        if nugget:
+            c[np.diag_indices_from(c)] += nugget
+        return c
+
+    def variance(self, theta: np.ndarray) -> float:
+        """Marginal variance ``C(0)``; first parameter by convention in
+        every kernel shipped with this package."""
+        theta = self.validate_theta(theta)
+        return float(theta[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({', '.join(self.param_names)})"

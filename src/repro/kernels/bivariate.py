@@ -1,0 +1,132 @@
+"""Parsimonious bivariate Matérn kernel (Gneiting, Kleiber &
+Schlather, 2010).
+
+The paper's covariance dimension is "the product of the number of
+observation locations and the number of variables observed at each";
+ExaGeoStat ships the parsimonious bivariate Matérn for the two-variable
+case.  Locations here follow the same convention as space-time data: a
+``(n, 3)`` array whose last column is the *variable index* (0 or 1), so
+the kernel slots into every tile/runtime component unchanged.
+
+Model:
+
+    C_kl(h) = rho_kl * sigma_k * sigma_l * M_{nu_kl}(h / a)
+
+with a common range ``a``, ``nu_12 = (nu_1 + nu_2) / 2``,
+``rho_11 = rho_22 = 1`` and the cross-correlation ``rho_12 = beta *
+rho_max(nu_1, nu_2, d)`` where ``rho_max`` is the parsimonious validity
+bound
+
+    rho_max = Gamma(nu_1 + d/2)^{1/2} Gamma(nu_2 + d/2)^{1/2}
+              / (Gamma(nu_1)^{1/2} Gamma(nu_2)^{1/2})
+              * Gamma(nu_12) / Gamma(nu_12 + d/2)
+
+(GKS Theorem 3 specialized to common ranges).  Parameterizing with
+``beta in (-1, 1)`` keeps every admissible ``theta`` valid by
+construction.
+
+``theta = (sigma1^2, sigma2^2, range, nu1, nu2, beta)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from ..exceptions import ShapeError
+from .base import CovarianceKernel, ParameterSpec
+from .distance import cross_distance
+from .matern import matern_correlation
+
+__all__ = ["BivariateMaternKernel", "parsimonious_rho_max", "stack_bivariate"]
+
+
+def parsimonious_rho_max(nu1: float, nu2: float, d: int = 2) -> float:
+    """Validity bound on the colocated cross-correlation."""
+    nu12 = 0.5 * (nu1 + nu2)
+    log_bound = (
+        0.5 * (special.gammaln(nu1 + d / 2) - special.gammaln(nu1))
+        + 0.5 * (special.gammaln(nu2 + d / 2) - special.gammaln(nu2))
+        + special.gammaln(nu12)
+        - special.gammaln(nu12 + d / 2)
+    )
+    return float(np.exp(log_bound))
+
+
+def stack_bivariate(space: np.ndarray) -> np.ndarray:
+    """Stack spatial locations into the (location, variable) layout:
+    variable 0 block first, then variable 1 (each row ``(x, y, v)``)."""
+    space = np.asarray(space, dtype=np.float64)
+    if space.ndim != 2 or space.shape[1] != 2:
+        raise ShapeError("expected (n, 2) spatial locations")
+    n = len(space)
+    return np.vstack([
+        np.column_stack([space, np.zeros(n)]),
+        np.column_stack([space, np.ones(n)]),
+    ])
+
+
+class BivariateMaternKernel(CovarianceKernel):
+    """Parsimonious bivariate Matérn over ``(x, y, variable)`` rows."""
+
+    ndim_locations = 3
+    spatial_dim = 2
+
+    @property
+    def param_specs(self) -> tuple[ParameterSpec, ...]:
+        return (
+            ParameterSpec("variance1", 0.0, np.inf, 1.0),
+            ParameterSpec("variance2", 0.0, np.inf, 1.0),
+            ParameterSpec("range", 0.0, np.inf, 0.1),
+            ParameterSpec("smoothness1", 0.0, 5.0, 0.5),
+            ParameterSpec("smoothness2", 0.0, 5.0, 1.0),
+            ParameterSpec("beta", -1.0, 1.0, 0.5),
+        )
+
+    def _cross(self, theta: np.ndarray, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        s1, v1 = x1[:, :2], x1[:, 2]
+        if x1 is x2:
+            s2, v2 = s1, v1
+        else:
+            s2, v2 = x2[:, :2], x2[:, 2]
+        if not (np.all(np.isin(v1, (0.0, 1.0))) and np.all(np.isin(v2, (0.0, 1.0)))):
+            raise ShapeError("variable column must contain only 0 or 1")
+        var1, var2, rng, nu1, nu2, beta = theta
+        nu12 = 0.5 * (nu1 + nu2)
+        rho12 = beta * parsimonious_rho_max(nu1, nu2, self.spatial_dim)
+        sigmas = np.array([np.sqrt(var1), np.sqrt(var2)])
+        nus = {
+            (0, 0): nu1,
+            (1, 1): nu2,
+            (0, 1): nu12,
+            (1, 0): nu12,
+        }
+        rhos = {
+            (0, 0): 1.0,
+            (1, 1): 1.0,
+            (0, 1): rho12,
+            (1, 0): rho12,
+        }
+        h = cross_distance(s1, s2)
+        h /= rng
+        out = np.empty_like(h)
+        for a in (0, 1):
+            mask1 = v1 == a
+            if not np.any(mask1):
+                continue
+            for b in (0, 1):
+                mask2 = v2 == b
+                if not np.any(mask2):
+                    continue
+                block = matern_correlation(h[np.ix_(mask1, mask2)], nus[(a, b)])
+                out[np.ix_(mask1, mask2)] = (
+                    rhos[(a, b)] * sigmas[a] * sigmas[b] * block
+                )
+        return out
+
+    def colocated_correlation(self, theta: np.ndarray) -> float:
+        """The realized cross-correlation ``rho_12`` at distance 0."""
+        theta = self.validate_theta(theta)
+        return float(
+            theta[5] * parsimonious_rho_max(theta[3], theta[4], self.spatial_dim)
+        )

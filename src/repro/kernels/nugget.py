@@ -1,0 +1,58 @@
+"""Nugget-augmented kernels: estimating micro-scale variance.
+
+Real sensor data carries measurement error; the standard model adds a
+"nugget" ``tau^2`` on the diagonal:
+
+    C_nugget(s_i, s_j) = C(s_i, s_j) + tau^2 * 1{i == j}
+
+:class:`NuggetKernel` wraps any base kernel, appending ``tau^2`` as a
+*fitted* parameter (the fixed-nugget constructor arguments elsewhere
+are regularizers, not model parameters).  Exact-zero distance is
+detected via row identity, so only genuinely colocated pairs receive
+the nugget — consistent with the tile-wise assembly, which evaluates
+diagonal tiles on a single location set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CovarianceKernel, ParameterSpec
+
+__all__ = ["NuggetKernel"]
+
+
+class NuggetKernel(CovarianceKernel):
+    """``base kernel + estimated nugget`` composite.
+
+    ``theta = (*theta_base, nugget)``.  The nugget's lower bound is 0
+    (open), so the optimizer can effectively turn it off.
+    """
+
+    def __init__(self, base: CovarianceKernel):
+        self.base = base
+        self.ndim_locations = base.ndim_locations
+
+    @property
+    def param_specs(self) -> tuple[ParameterSpec, ...]:
+        return self.base.param_specs + (
+            ParameterSpec("nugget", 0.0, np.inf, 0.01),
+        )
+
+    def _cross(self, theta: np.ndarray, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        c = self.base._cross(theta[:-1], x1, x2)
+        if x1 is x2:
+            c = c.copy()
+            c[np.diag_indices_from(c)] += theta[-1]
+        return c
+
+    def variance(self, theta: np.ndarray) -> float:
+        """Total marginal variance ``C(0) + nugget`` (what the kriging
+        uncertainty of Eq. 5 needs on its diagonal)."""
+        theta = self.validate_theta(theta)
+        return float(self.base.variance(theta[:-1]) + theta[-1])
+
+    def split_theta(self, theta: np.ndarray) -> tuple[np.ndarray, float]:
+        """``(theta_base, nugget)``."""
+        theta = self.validate_theta(theta)
+        return theta[:-1], float(theta[-1])

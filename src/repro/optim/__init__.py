@@ -1,0 +1,21 @@
+"""Derivative-free optimizers for the MLE loop.
+
+* :func:`~repro.optim.neldermead.nelder_mead` — the default local
+  direct-search minimizer;
+* :func:`~repro.optim.pso.particle_swarm` — the paper's weak-scaling
+  parallel optimizer (Section VI-D);
+* :class:`~repro.optim.bounds.BoundTransform` — maps kernel parameter
+  boxes to the optimizers' unconstrained/box spaces.
+"""
+
+from .bounds import BoundTransform
+from .neldermead import NelderMeadResult, nelder_mead
+from .pso import PSOResult, particle_swarm
+
+__all__ = [
+    "BoundTransform",
+    "nelder_mead",
+    "NelderMeadResult",
+    "particle_swarm",
+    "PSOResult",
+]

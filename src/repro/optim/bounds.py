@@ -1,0 +1,86 @@
+"""Parameter transforms for bound-constrained optimization.
+
+Kernel parameters live on open intervals (positives, unit intervals);
+the optimizers work in an unconstrained space ``u`` related by
+
+* ``(0, inf)``   -> ``theta = exp(u)``            (log transform)
+* ``(lo, hi)``   -> logistic (logit transform)
+* ``(-inf, inf)``-> identity
+
+built from the kernel's :class:`~repro.kernels.base.ParameterSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..kernels.base import ParameterSpec
+
+__all__ = ["BoundTransform"]
+
+_CLIP = 500.0  # exp overflow guard in the unconstrained space
+
+
+@dataclass(frozen=True)
+class BoundTransform:
+    """Vector transform between constrained ``theta`` and free ``u``."""
+
+    specs: tuple[ParameterSpec, ...]
+
+    @classmethod
+    def from_specs(cls, specs: tuple[ParameterSpec, ...]) -> "BoundTransform":
+        return cls(specs=tuple(specs))
+
+    def to_unconstrained(self, theta: np.ndarray) -> np.ndarray:
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.shape[0] != len(self.specs):
+            raise ParameterError(
+                f"expected {len(self.specs)} parameters, got {theta.shape[0]}"
+            )
+        out = np.empty_like(theta)
+        for k, (value, spec) in enumerate(zip(theta, self.specs)):
+            lo, hi = spec.lower, spec.upper
+            if np.isfinite(lo) and np.isfinite(hi):
+                if not (lo < value < hi):
+                    raise ParameterError(
+                        f"{spec.name}={value} outside ({lo}, {hi})"
+                    )
+                frac = (value - lo) / (hi - lo)
+                out[k] = np.log(frac / (1.0 - frac))
+            elif np.isfinite(lo):
+                if value <= lo:
+                    raise ParameterError(f"{spec.name}={value} <= {lo}")
+                out[k] = np.log(value - lo)
+            elif np.isfinite(hi):
+                if value >= hi:
+                    raise ParameterError(f"{spec.name}={value} >= {hi}")
+                out[k] = -np.log(hi - value)
+            else:
+                out[k] = value
+        return out
+
+    def to_constrained(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=np.float64).ravel(), -_CLIP, _CLIP)
+        if u.shape[0] != len(self.specs):
+            raise ParameterError(
+                f"expected {len(self.specs)} parameters, got {u.shape[0]}"
+            )
+        out = np.empty_like(u)
+        for k, (value, spec) in enumerate(zip(u, self.specs)):
+            lo, hi = spec.lower, spec.upper
+            if np.isfinite(lo) and np.isfinite(hi):
+                frac = 1.0 / (1.0 + np.exp(-value))
+                # Keep strictly inside the open interval even when the
+                # logistic saturates in floating point.
+                frac = min(max(frac, 1.0e-12), 1.0 - 1.0e-12)
+                out[k] = lo + (hi - lo) * frac
+            elif np.isfinite(lo):
+                out[k] = max(lo + np.exp(value), np.nextafter(lo, np.inf))
+            elif np.isfinite(hi):
+                out[k] = min(hi - np.exp(-value), np.nextafter(hi, -np.inf))
+            else:
+                out[k] = value
+        return out

@@ -1,0 +1,128 @@
+"""Self-contained Nelder-Mead simplex minimizer.
+
+ExaGeoStat drives MLE with a derivative-free direct-search optimizer
+(BOBYQA in the original; Nelder-Mead is the equivalent role here).  A
+self-contained implementation keeps the inner loop inspectable — every
+function evaluation is one full tile-Cholesky likelihood — and lets the
+tests count evaluations exactly.  Uses the adaptive coefficients of
+Gao & Han (2012), which help in the 6-parameter space-time problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["NelderMeadResult", "nelder_mead"]
+
+
+@dataclass
+class NelderMeadResult:
+    """Optimization outcome."""
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    nit: int
+    converged: bool
+    history: list[float] = field(default_factory=list)
+
+
+def nelder_mead(
+    fn: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    *,
+    initial_step: float = 0.25,
+    max_iter: int = 200,
+    fatol: float = 1.0e-6,
+    xatol: float = 1.0e-6,
+    adaptive: bool = True,
+) -> NelderMeadResult:
+    """Minimize ``fn`` from ``x0`` with a Nelder-Mead simplex.
+
+    ``fn`` may return ``inf`` (rejected point); the simplex shrinks
+    away from such points naturally.  Convergence when both the
+    function spread and the simplex diameter drop below the tolerances.
+    """
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+    ndim = x0.shape[0]
+    if ndim == 0:
+        raise ValueError("x0 must have at least one dimension")
+    if adaptive and ndim > 1:
+        alpha, gamma = 1.0, 1.0 + 2.0 / ndim
+        rho, sigma = 0.75 - 1.0 / (2.0 * ndim), 1.0 - 1.0 / ndim
+    else:
+        alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+
+    # Initial simplex: x0 plus one step along each axis.
+    simplex = np.tile(x0, (ndim + 1, 1))
+    for k in range(ndim):
+        step = initial_step if x0[k] == 0.0 else initial_step * max(abs(x0[k]), 1.0)
+        simplex[k + 1, k] += step
+
+    nfev = 0
+
+    def evaluate(x: np.ndarray) -> float:
+        nonlocal nfev
+        nfev += 1
+        value = float(fn(x))
+        return value if np.isfinite(value) or value == np.inf else np.inf
+
+    values = np.array([evaluate(v) for v in simplex])
+    history: list[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        order = np.argsort(values, kind="stable")
+        simplex = simplex[order]
+        values = values[order]
+        history.append(values[0])
+
+        f_spread = values[-1] - values[0]
+        x_spread = np.max(np.abs(simplex[1:] - simplex[0]))
+        if f_spread <= fatol and x_spread <= xatol:
+            converged = True
+            break
+
+        centroid = simplex[:-1].mean(axis=0)
+        worst = simplex[-1]
+        reflected = centroid + alpha * (centroid - worst)
+        f_reflected = evaluate(reflected)
+
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            f_expanded = evaluate(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        # Contraction (outside when reflection improved on the worst).
+        if f_reflected < values[-1]:
+            contracted = centroid + rho * (reflected - centroid)
+        else:
+            contracted = centroid + rho * (worst - centroid)
+        f_contracted = evaluate(contracted)
+        if f_contracted < min(f_reflected, values[-1]):
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+        # Shrink toward the best vertex.
+        best = simplex[0]
+        for k in range(1, ndim + 1):
+            simplex[k] = best + sigma * (simplex[k] - best)
+            values[k] = evaluate(simplex[k])
+
+    order = np.argsort(values, kind="stable")
+    return NelderMeadResult(
+        x=simplex[order[0]].copy(),
+        fun=float(values[order[0]]),
+        nfev=nfev,
+        nit=it,
+        converged=converged,
+        history=history,
+    )

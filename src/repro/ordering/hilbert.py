@@ -1,0 +1,64 @@
+"""Hilbert-curve ordering for 2-D point sets.
+
+The Hilbert curve preserves locality slightly better than the Morton
+curve (no long diagonal jumps), which typically shaves a few ranks off
+the off-diagonal tiles.  The transform is the classic iterative
+rotate-and-flip algorithm, vectorized across all points with a loop
+only over the ``bits`` refinement levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..kernels.distance import as_locations
+
+__all__ = ["hilbert_codes_2d", "hilbert_order"]
+
+
+def hilbert_codes_2d(x: np.ndarray, *, bits: int = 16) -> np.ndarray:
+    """Hilbert curve indices (uint64) of a 2-D point set.
+
+    Points are quantized to a ``2^bits`` per side grid normalized to
+    the data bounding box.  ``bits`` up to 31 keeps the code in 62 bits.
+    """
+    pts = as_locations(x, dim=2)
+    if not (1 <= bits <= 31):
+        raise ShapeError("bits must be in [1, 31]")
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = hi - lo
+    span[span == 0.0] = 1.0
+    side = np.uint64(1) << np.uint64(bits)
+    grid = np.floor((pts - lo) / span * (2**bits - 1) + 0.5).astype(np.uint64)
+    px = grid[:, 0].copy()
+    py = grid[:, 1].copy()
+
+    rx = np.zeros_like(px)
+    ry = np.zeros_like(py)
+    d = np.zeros_like(px)
+    s = side >> np.uint64(1)
+    one = np.uint64(1)
+    while s > 0:
+        rx = ((px & s) > 0).astype(np.uint64)
+        ry = ((py & s) > 0).astype(np.uint64)
+        d += s * s * ((np.uint64(3) * rx) ^ ry)
+        # Rotate the quadrant: where ry == 0.
+        rotate = ry == 0
+        flip = rotate & (rx == 1)
+        px_f = px[flip]
+        py_f = py[flip]
+        px[flip] = s - one - px_f
+        py[flip] = s - one - py_f
+        tmp = px[rotate].copy()
+        px[rotate] = py[rotate]
+        py[rotate] = tmp
+        s >>= one
+    return d
+
+
+def hilbert_order(x: np.ndarray, *, bits: int = 16) -> np.ndarray:
+    """Permutation that sorts 2-D points along the Hilbert curve."""
+    codes = hilbert_codes_2d(x, bits=bits)
+    return np.argsort(codes, kind="stable")

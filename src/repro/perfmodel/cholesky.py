@@ -1,0 +1,291 @@
+"""Aggregate Cholesky scaling estimator (paper Figs. 7, 10, 11).
+
+Enumerating the task DAG at paper scale (NT ~ 3300 => ~6e9 GEMMs) is
+infeasible, so the scaling figures use a per-step pipeline model over
+the *same* cost formulas the DAG simulator uses:
+
+    makespan = sum_k max( work_k / (P * C),   # throughput bound
+                          chain_k,            # critical chain of step k
+                          comm_k )            # panel broadcast bound
+
+``work_k`` aggregates the durations of all TRSM/SYRK/GEMM tasks of
+step ``k`` from the offset-class profile (O(1) per step via prefix
+sums); ``chain_k`` is the POTRF->TRSM->GEMM dependency chain; ``comm_k``
+models the 2-D block-cyclic panel broadcast with tiles travelling in
+their wire representation.  Scale-dependent decisions are re-applied at
+the target tile size: low-rank classes whose rank exceeds the Fig. 5
+crossover are converted back to dense, and a dense band of
+``band_size`` sub-diagonals is enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tile.precision import Precision
+from .crossover import crossover_rank
+from .kernelmodel import TaskShape, task_time
+from .machine import MachineSpec
+from .profiles import CLASSES, PlanProfile
+
+__all__ = ["ScaleEstimate", "estimate_cholesky", "project_classes"]
+
+
+@dataclass(frozen=True)
+class ScaleEstimate:
+    """Result of one aggregate estimation."""
+
+    time_s: float
+    flops: float
+    storage_bytes: float
+    dense_fp64_bytes: float
+    nodes: int
+    nt: int
+    tile_size: int
+    throughput_bound_s: float
+    chain_bound_s: float
+    comm_bound_s: float
+
+    @property
+    def sustained_pflops(self) -> float:
+        return self.flops / self.time_s / 1.0e15 if self.time_s > 0 else 0.0
+
+    @property
+    def memory_per_node_gb(self) -> float:
+        return self.storage_bytes / self.nodes / 1.0e9
+
+    @property
+    def memory_reduction(self) -> float:
+        if self.dense_fp64_bytes <= 0:
+            return 0.0
+        return 1.0 - self.storage_bytes / self.dense_fp64_bytes
+
+
+def project_classes(
+    profile: PlanProfile,
+    nt: int,
+    tile_size: int,
+    machine: MachineSpec,
+    *,
+    band_size: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Class fractions and ranks at target scale with scale-dependent
+    re-decisions applied (crossover + dense band).
+
+    Returns ``(fractions, ranks)`` of shapes ``(nt, n_classes)`` and
+    ``(nt,)``.  LR mass whose measured rank exceeds the target-scale
+    crossover is folded into the matching dense class; offsets inside
+    the dense band are fully densified.
+    """
+    fractions, ranks = profile.at_offsets(nt)
+    fractions = fractions.copy()
+    xover = crossover_rank(tile_size, machine)
+    idx = {name: k for k, name in enumerate(CLASSES)}
+    lr_to_dense = {"lr/FP64": "dense/FP64", "lr/FP32": "dense/FP32"}
+    for d in range(nt):
+        densify = d < band_size or ranks[d] >= xover
+        if densify:
+            for lr_name, dense_name in lr_to_dense.items():
+                fractions[d, idx[dense_name]] += fractions[d, idx[lr_name]]
+                fractions[d, idx[lr_name]] = 0.0
+    return fractions, ranks
+
+
+def _class_durations(
+    fractions: np.ndarray,
+    ranks: np.ndarray,
+    tile_size: int,
+    machine: MachineSpec,
+    op: str,
+    *,
+    shgemm_mode: str,
+) -> np.ndarray:
+    """Expected single-task duration of ``op`` at each offset, averaged
+    over the class mix of the *output* tile's offset."""
+    nt = fractions.shape[0]
+    out = np.zeros(nt)
+    for c, name in enumerate(CLASSES):
+        col = fractions[:, c]
+        if not np.any(col):
+            continue
+        precision = PlanProfile.class_precision(name)
+        lr = PlanProfile.class_is_lr(name)
+        for d in np.nonzero(col)[0]:
+            r = int(max(ranks[d], 1)) if lr else 0
+            if op == "gemm":
+                shape = TaskShape(
+                    "gemm", tile_size, precision, low_rank=lr,
+                    ranks=(r, r, r) if lr else (),
+                )
+            elif op == "trsm":
+                shape = TaskShape(
+                    "trsm", tile_size, precision, low_rank=lr,
+                    ranks=(r,) if lr else (),
+                )
+            elif op == "syrk":
+                # SYRK output is the (dense FP64) diagonal; its input is
+                # the panel tile whose class we are averaging over.
+                shape = TaskShape(
+                    "syrk", tile_size, Precision.FP64,
+                    ranks=(r,) if lr else (),
+                )
+            else:
+                raise ConfigurationError(f"unsupported op {op!r}")
+            out[d] += col[d] * task_time(shape, machine, shgemm_mode=shgemm_mode)
+    return out
+
+
+def _class_bytes(fractions: np.ndarray, ranks: np.ndarray, tile_size: int) -> np.ndarray:
+    """Expected wire bytes of a tile at each offset."""
+    nt = fractions.shape[0]
+    out = np.zeros(nt)
+    for c, name in enumerate(CLASSES):
+        precision = PlanProfile.class_precision(name)
+        if PlanProfile.class_is_lr(name):
+            per = precision.itemsize * np.maximum(ranks, 1) * 2.0 * tile_size
+        else:
+            per = np.full(nt, precision.itemsize * tile_size * tile_size, float)
+        out += fractions[:, c] * per
+    return out
+
+
+def _class_flops(
+    fractions: np.ndarray, ranks: np.ndarray, tile_size: int, op: str
+) -> np.ndarray:
+    """Expected flops of ``op`` per offset (for the rate report)."""
+    from .kernelmodel import task_flops
+
+    nt = fractions.shape[0]
+    out = np.zeros(nt)
+    for c, name in enumerate(CLASSES):
+        col = fractions[:, c]
+        if not np.any(col):
+            continue
+        precision = PlanProfile.class_precision(name)
+        lr = PlanProfile.class_is_lr(name)
+        for d in np.nonzero(col)[0]:
+            r = int(max(ranks[d], 1)) if lr else 0
+            if op == "gemm":
+                shape = TaskShape("gemm", tile_size, precision, low_rank=lr,
+                                  ranks=(r, r, r) if lr else ())
+            elif op == "trsm":
+                shape = TaskShape("trsm", tile_size, precision, low_rank=lr,
+                                  ranks=(r,) if lr else ())
+            else:
+                shape = TaskShape("syrk", tile_size, Precision.FP64,
+                                  ranks=(r,) if lr else ())
+            out[d] += col[d] * task_flops(shape)
+    return out
+
+
+def estimate_cholesky(
+    profile: PlanProfile,
+    n: int,
+    tile_size: int,
+    machine: MachineSpec,
+    nodes: int,
+    *,
+    cores_per_node: int | None = None,
+    band_size: int = 1,
+    shgemm_mode: str = "sgemm_fallback",
+    grid: tuple[int, int] | None = None,
+) -> ScaleEstimate:
+    """Aggregate time-to-solution of one tile Cholesky at scale."""
+    if n < tile_size:
+        raise ConfigurationError("matrix smaller than one tile")
+    nt = -(-n // tile_size)
+    cores = cores_per_node or machine.cores_per_node
+    resources = nodes * cores
+    if grid is None:
+        p = int(np.sqrt(nodes))
+        while nodes % p:
+            p -= 1
+        q = nodes // p
+    else:
+        p, q = grid
+
+    fractions, ranks = project_classes(
+        profile, nt, tile_size, machine, band_size=band_size
+    )
+    gemm_dur = _class_durations(fractions, ranks, tile_size, machine, "gemm",
+                                shgemm_mode=shgemm_mode)
+    trsm_dur = _class_durations(fractions, ranks, tile_size, machine, "trsm",
+                                shgemm_mode=shgemm_mode)
+    syrk_dur = _class_durations(fractions, ranks, tile_size, machine, "syrk",
+                                shgemm_mode=shgemm_mode)
+    potrf_dur = task_time(TaskShape("potrf", tile_size, Precision.FP64), machine)
+    wire = _class_bytes(fractions, ranks, tile_size)
+
+    gemm_fl = _class_flops(fractions, ranks, tile_size, "gemm")
+    trsm_fl = _class_flops(fractions, ranks, tile_size, "trsm")
+    syrk_fl = _class_flops(fractions, ranks, tile_size, "syrk")
+    potrf_fl = tile_size**3 / 3.0
+
+    # Prefix sums over offsets 0..nt-1 (offset 0 never used for panels).
+    cs_g = np.concatenate([[0.0], np.cumsum(gemm_dur)])
+    cs_gd = np.concatenate([[0.0], np.cumsum(gemm_dur * np.arange(nt))])
+    cs_t = np.concatenate([[0.0], np.cumsum(trsm_dur)])
+    cs_s = np.concatenate([[0.0], np.cumsum(syrk_dur)])
+    cs_b = np.concatenate([[0.0], np.cumsum(wire)])
+    cs_gf = np.concatenate([[0.0], np.cumsum(gemm_fl)])
+    cs_gfd = np.concatenate([[0.0], np.cumsum(gemm_fl * np.arange(nt))])
+    cs_tf = np.concatenate([[0.0], np.cumsum(trsm_fl)])
+    cs_sf = np.concatenate([[0.0], np.cumsum(syrk_fl)])
+
+    net_bw = machine.net_bw_gbs * 1.0e9
+    total_time = 0.0
+    total_flops = 0.0
+    tput_total = 0.0
+    chain_total = 0.0
+    comm_total = 0.0
+    for k in range(nt):
+        m = nt - k - 1  # panel height below the diagonal
+        # Work: TRSM/SYRK at offsets 1..m, GEMM outputs at offsets
+        # 1..m-1 with multiplicity (m - d).
+        work = potrf_dur + (cs_t[m + 1] - cs_t[1]) + (cs_s[m + 1] - cs_s[1])
+        if m >= 2:
+            work += m * (cs_g[m] - cs_g[1]) - (cs_gd[m] - cs_gd[1])
+        flops_k = potrf_fl + (cs_tf[m + 1] - cs_tf[1]) + (cs_sf[m + 1] - cs_sf[1])
+        if m >= 2:
+            flops_k += m * (cs_gf[m] - cs_gf[1]) - (cs_gfd[m] - cs_gfd[1])
+        # Critical chain to the next panel: POTRF(k) -> TRSM(k+1,k)
+        # -> SYRK(k+1,k+1) -> POTRF(k+1).  Off-path GEMMs overlap.
+        chain = potrf_dur
+        if m >= 1:
+            chain += trsm_dur[1] + syrk_dur[1]
+        # Panel broadcast: each of the m panel tiles reaches p+q-2
+        # peer owners; volume shared across P injection links.
+        vol = (cs_b[m + 1] - cs_b[1]) * max(p + q - 2, 0)
+        msgs = m * max(p + q - 2, 0)
+        comm = vol / (nodes * net_bw) + msgs * machine.net_latency_s / nodes
+        total_time += max(work / resources, chain, comm)
+        tput_total += work / resources
+        chain_total += chain
+        comm_total += comm
+        total_flops += flops_k
+
+    # Storage: tiles at offset d occur (nt - d) times; wire bytes equal
+    # storage bytes for our representations.
+    counts = (nt - np.arange(nt)).astype(np.float64)
+    storage = float(np.sum(counts * _storage_bytes(fractions, ranks, tile_size)))
+    dense_bytes = float(np.sum(counts) * 8.0 * tile_size * tile_size)
+
+    return ScaleEstimate(
+        time_s=total_time,
+        flops=total_flops,
+        storage_bytes=storage,
+        dense_fp64_bytes=dense_bytes,
+        nodes=nodes,
+        nt=nt,
+        tile_size=tile_size,
+        throughput_bound_s=tput_total,
+        chain_bound_s=chain_total,
+        comm_bound_s=comm_total,
+    )
+
+
+def _storage_bytes(fractions: np.ndarray, ranks: np.ndarray, tile_size: int) -> np.ndarray:
+    return _class_bytes(fractions, ranks, tile_size)

@@ -1,0 +1,81 @@
+"""Dense vs TLR GEMM crossover analysis (paper Fig. 5).
+
+For a given tile size the TLR GEMM is cheaper than the dense GEMM only
+below a *crossover rank*; above it, the compression overhead is not
+justified and the runtime should convert the tile back to dense.  The
+paper measures a crossover near rank 200 on one A64FX core; these
+functions reproduce the curve (time vs rank and the dense/TLR time
+ratio) from the model and locate the crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tile.precision import Precision
+from .kernelmodel import TaskShape, task_time
+from .machine import MachineSpec
+
+__all__ = ["gemm_time_dense", "gemm_time_tlr", "gemm_ratio_curve", "crossover_rank"]
+
+
+def gemm_time_dense(
+    b: int, machine: MachineSpec, precision: Precision = Precision.FP64
+) -> float:
+    """Modeled single-core dense GEMM time for a ``b x b`` tile."""
+    return task_time(TaskShape("gemm", b, precision), machine)
+
+
+def gemm_time_tlr(
+    b: int,
+    rank: int,
+    machine: MachineSpec,
+    precision: Precision = Precision.FP64,
+) -> float:
+    """Modeled single-core TLR GEMM time with all operands at ``rank``."""
+    shape = TaskShape("gemm", b, precision, low_rank=True, ranks=(rank, rank, rank))
+    return task_time(shape, machine)
+
+
+def gemm_ratio_curve(
+    b: int,
+    ranks: np.ndarray,
+    machine: MachineSpec,
+    precision: Precision = Precision.FP64,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The Fig. 5 data: ``(tlr_times, dense_times, dense/tlr ratio)``
+    over an array of ranks."""
+    ranks = np.asarray(ranks, dtype=np.int64)
+    dense = gemm_time_dense(b, machine, precision)
+    tlr = np.array([gemm_time_tlr(b, int(r), machine, precision) for r in ranks])
+    dense_arr = np.full_like(tlr, dense)
+    return tlr, dense_arr, dense_arr / tlr
+
+
+def crossover_rank(
+    b: int,
+    machine: MachineSpec,
+    precision: Precision = Precision.FP64,
+    *,
+    max_rank: int | None = None,
+) -> int:
+    """Smallest rank at which the TLR GEMM is no faster than dense.
+
+    Returns ``max_rank`` (default ``b``) when TLR wins everywhere —
+    which cannot happen for sane models since rank ``b`` degenerates to
+    more work than dense.  Bisection over the monotone rank axis.
+    """
+    max_rank = b if max_rank is None else max_rank
+    dense = gemm_time_dense(b, machine, precision)
+    if gemm_time_tlr(b, 1, machine, precision) >= dense:
+        return 1
+    lo, hi = 1, max_rank
+    if gemm_time_tlr(b, hi, machine, precision) < dense:
+        return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if gemm_time_tlr(b, mid, machine, precision) < dense:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,141 @@
+"""Energy model (paper Section V-A: "fast and energy-efficient low
+precision floating-point units").
+
+A simple but standard accounting: each task consumes
+
+    E = flops * J_per_flop(precision) + bytes * J_per_byte
+        + duration * static_power_per_core
+
+with per-precision flop energies scaling inversely with throughput
+(FP32 ~ 1/2, FP16 ~ 1/4 the energy per flop of FP64 on SIMD units) and
+the A64FX's published power envelope setting the constants.  This
+quantifies the secondary claim of the mixed-precision campaign: lower
+precision saves energy, TLR saves even more by removing flops/bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tile.precision import Precision
+from .kernelmodel import TaskShape, task_bytes, task_flops, task_time
+from .machine import A64FX, MachineSpec
+
+__all__ = ["EnergyModel", "A64FX_ENERGY", "task_energy", "estimate_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy constants of one node."""
+
+    name: str
+    joule_per_flop_fp64: float
+    joule_per_byte: float
+    static_watt_per_core: float
+
+    def joule_per_flop(self, precision: Precision) -> float:
+        scale = {
+            Precision.FP64: 1.0,
+            Precision.FP32: 0.5,
+            Precision.FP16: 0.25,
+        }[precision]
+        return self.joule_per_flop_fp64 * scale
+
+
+def _a64fx_energy() -> EnergyModel:
+    # A64FX node: ~120 W at ~2 Tflop/s sustained FP64 -> ~6e-11 J/flop
+    # attributable to compute; HBM2 ~ 4 pJ/byte; ~0.8 W static per core.
+    return EnergyModel(
+        name="A64FX",
+        joule_per_flop_fp64=6.0e-11,
+        joule_per_byte=4.0e-12,
+        static_watt_per_core=0.8,
+    )
+
+
+A64FX_ENERGY = _a64fx_energy()
+
+
+def task_energy(
+    shape: TaskShape,
+    machine: MachineSpec = A64FX,
+    energy: EnergyModel = A64FX_ENERGY,
+    *,
+    shgemm_mode: str = "sgemm_fallback",
+) -> float:
+    """Energy of one tile task in joules."""
+    flops = task_flops(shape)
+    nbytes = task_bytes(shape)
+    duration = task_time(shape, machine, shgemm_mode=shgemm_mode)
+    return (
+        flops * energy.joule_per_flop(shape.precision)
+        + nbytes * energy.joule_per_byte
+        + duration * energy.static_watt_per_core
+    )
+
+
+def estimate_energy(
+    profile,
+    n: int,
+    tile_size: int,
+    machine: MachineSpec = A64FX,
+    energy: EnergyModel = A64FX_ENERGY,
+    *,
+    band_size: int = 1,
+    shgemm_mode: str = "sgemm_fallback",
+) -> float:
+    """Aggregate Cholesky energy at scale, joules.
+
+    Mirrors the flop aggregation of
+    :func:`repro.perfmodel.cholesky.estimate_cholesky`: per-offset class
+    mixes weighted by the tile multiplicities of the factorization.
+    """
+    import numpy as np
+
+    from .cholesky import project_classes
+    from .profiles import CLASSES, PlanProfile
+
+    nt = -(-n // tile_size)
+    fractions, ranks = project_classes(
+        profile, nt, tile_size, machine, band_size=band_size
+    )
+
+    # Per-offset expected energies of one GEMM / TRSM / SYRK task.
+    def op_energy(op: str) -> np.ndarray:
+        out = np.zeros(nt)
+        for c, name in enumerate(CLASSES):
+            col = fractions[:, c]
+            if not np.any(col):
+                continue
+            precision = PlanProfile.class_precision(name)
+            lr = PlanProfile.class_is_lr(name)
+            for d in np.nonzero(col)[0]:
+                r = int(max(ranks[d], 1)) if lr else 0
+                if op == "gemm":
+                    shape = TaskShape("gemm", tile_size, precision,
+                                      low_rank=lr, ranks=(r, r, r) if lr else ())
+                elif op == "trsm":
+                    shape = TaskShape("trsm", tile_size, precision,
+                                      low_rank=lr, ranks=(r,) if lr else ())
+                else:
+                    shape = TaskShape("syrk", tile_size, Precision.FP64,
+                                      ranks=(r,) if lr else ())
+                out[d] += col[d] * task_energy(
+                    shape, machine, energy, shgemm_mode=shgemm_mode
+                )
+        return out
+
+    ge = op_energy("gemm")
+    te = op_energy("trsm")
+    se = op_energy("syrk")
+    pe = task_energy(TaskShape("potrf", tile_size), machine, energy)
+
+    # Multiplicities: TRSM/SYRK at offset d occur (nt - d) times; GEMM
+    # outputs at offset d occur sum_k max(nt-k-1-d, 0) times.
+    d = np.arange(nt, dtype=np.float64)
+    trsm_mult = nt - d
+    gemm_mult = (nt - d) * (nt - d - 1) / 2.0
+    total = nt * pe
+    total += float(np.sum(trsm_mult[1:] * (te[1:] + se[1:])))
+    total += float(np.sum(gemm_mult[1:] * ge[1:]))
+    return total

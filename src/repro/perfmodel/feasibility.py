@@ -1,0 +1,93 @@
+"""Memory-feasibility analysis (paper Section III / Fig. 10).
+
+The paper stresses that the dense variants "suffer from a large memory
+footprint that may prevent them from running extreme-scale
+simulations": at fixed node memory, the largest solvable matrix scales
+like ``sqrt(P)`` for dense FP64 but far further for MP+dense/TLR.
+These helpers compute the footprint per node of a planned variant and
+the largest feasible matrix size — the quantitative version of "can
+only handle the smaller matrix sizes".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .cholesky import _storage_bytes, project_classes
+from .machine import A64FX, MachineSpec
+from .profiles import PlanProfile
+
+__all__ = ["storage_per_node", "max_feasible_n"]
+
+#: Fugaku node memory (GB), Section VI-E.
+FUGAKU_NODE_GB = 32.0
+
+
+def storage_per_node(
+    profile: PlanProfile,
+    n: int,
+    tile_size: int,
+    nodes: int,
+    machine: MachineSpec = A64FX,
+    *,
+    band_size: int = 1,
+) -> float:
+    """Average stored bytes per node for the lower-triangle matrix
+    under a variant profile (block-cyclic distribution is balanced to
+    first order)."""
+    if n < tile_size:
+        raise ConfigurationError("matrix smaller than one tile")
+    nt = -(-n // tile_size)
+    fractions, ranks = project_classes(
+        profile, nt, tile_size, machine, band_size=band_size
+    )
+    per_offset = _storage_bytes(fractions, ranks, tile_size)
+    counts = (nt - np.arange(nt)).astype(np.float64)
+    total = float(np.sum(counts * per_offset))
+    return total / nodes
+
+
+def max_feasible_n(
+    profile: PlanProfile,
+    nodes: int,
+    tile_size: int,
+    machine: MachineSpec = A64FX,
+    *,
+    node_memory_gb: float = FUGAKU_NODE_GB,
+    usable_fraction: float = 0.8,
+    band_size: int = 1,
+) -> int:
+    """Largest matrix dimension whose storage fits in
+    ``usable_fraction`` of the aggregate node memory.
+
+    Monotone bisection over the matrix size (storage grows
+    monotonically with ``n``); returns a multiple of ``tile_size``.
+    """
+    budget = usable_fraction * node_memory_gb * 1.0e9
+
+    def fits(n: int) -> bool:
+        return storage_per_node(
+            profile, n, tile_size, nodes, machine, band_size=band_size
+        ) <= budget
+
+    lo_t, hi_t = 1, 2
+    if not fits(lo_t * tile_size):
+        return 0
+    # TLR storage grows ~linearly in n, so the frontier can sit far
+    # beyond the paper's 10M; search up to a 100M-dimension ceiling.
+    ceiling = 100_000_000 // tile_size
+    while fits(hi_t * tile_size):
+        hi_t *= 2
+        if hi_t > ceiling:
+            hi_t = ceiling
+            if fits(hi_t * tile_size):
+                return hi_t * tile_size
+            break
+    while hi_t - lo_t > 1:
+        mid = (lo_t + hi_t) // 2
+        if fits(mid * tile_size):
+            lo_t = mid
+        else:
+            hi_t = mid
+    return lo_t * tile_size

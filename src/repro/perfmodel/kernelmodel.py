@@ -1,0 +1,118 @@
+"""Per-task time model (roofline style).
+
+``task_time`` maps one tile task — operation, structure, precision,
+tile size, ranks — to a modeled duration on one core of a
+:class:`~repro.perfmodel.machine.MachineSpec`:
+
+    time = max(flops / sustained_rate, bytes / per-core bandwidth)
+           + task overhead
+
+Dense kernels use the ``efficiency``-scaled peak (compute bound at the
+paper's tile sizes); TLR kernels use the much lower ``tlr_efficiency``
+rate and are usually bandwidth bound — this is the quantitative content
+of Fig. 5 and the basis of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tile.precision import Precision
+from .gemm import (
+    dense_gemm_bytes,
+    dense_gemm_flops,
+    dense_potrf_flops,
+    dense_syrk_flops,
+    dense_trsm_flops,
+    tlr_gemm_bytes,
+    tlr_gemm_flops,
+    tlr_trsm_flops,
+)
+from .machine import MachineSpec
+
+__all__ = ["TaskShape", "task_flops", "task_bytes", "task_time"]
+
+_OPS = ("potrf", "trsm", "syrk", "gemm")
+
+
+@dataclass(frozen=True)
+class TaskShape:
+    """Geometric description of one tile task.
+
+    ``ranks`` holds the relevant low-rank ranks, in operand order
+    (unused entries 0): for a TLR GEMM these are ``(ra, rb, rc)``; for
+    a TLR TRSM ``(rank,)``.  ``low_rank`` flags whether the *output*
+    tile (the lead operand) is low-rank.
+    """
+
+    op: str
+    b: int
+    precision: Precision = Precision.FP64
+    low_rank: bool = False
+    ranks: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {_OPS}")
+
+
+def task_flops(shape: TaskShape) -> float:
+    """Modeled flop count of one task."""
+    b = shape.b
+    if shape.op == "potrf":
+        return dense_potrf_flops(b)
+    if shape.op == "trsm":
+        if shape.low_rank:
+            rank = shape.ranks[0] if shape.ranks else b // 2
+            return tlr_trsm_flops(b, rank)
+        return dense_trsm_flops(b, b)
+    if shape.op == "syrk":
+        if shape.low_rank or shape.ranks:
+            # SYRK consumes a low-rank A: C -= (U W) U^T.
+            rank = shape.ranks[0] if shape.ranks else b // 2
+            return 2.0 * b * rank * rank + 2.0 * b * b * rank
+        return dense_syrk_flops(b)
+    # gemm
+    if shape.low_rank:
+        ra, rb, rc = (tuple(shape.ranks) + (b // 2,) * 3)[:3]
+        return tlr_gemm_flops(b, ra, rb, rc)
+    if shape.ranks:
+        # Dense output, low-rank input(s): dense update of width r.
+        r = max(shape.ranks)
+        return 2.0 * b * b * r + 2.0 * b * r * r
+    return dense_gemm_flops(b)
+
+
+def task_bytes(shape: TaskShape) -> float:
+    """Modeled memory traffic of one task."""
+    b = shape.b
+    itemsize = shape.precision.itemsize
+    if shape.op == "potrf":
+        return 2.0 * itemsize * b * b
+    if shape.op == "trsm":
+        if shape.low_rank:
+            rank = shape.ranks[0] if shape.ranks else b // 2
+            return itemsize * (b * b / 2.0 + 2.0 * b * rank)
+        return itemsize * (b * b / 2.0 + 2.0 * b * b)
+    if shape.op == "syrk":
+        if shape.low_rank or shape.ranks:
+            rank = shape.ranks[0] if shape.ranks else b // 2
+            return itemsize * (2.0 * b * rank + 2.0 * b * b)
+        return itemsize * (b * b + 2.0 * b * b)
+    if shape.low_rank:
+        ra, rb, rc = (tuple(shape.ranks) + (b // 2,) * 3)[:3]
+        return tlr_gemm_bytes(b, ra, rb, rc, itemsize)
+    return dense_gemm_bytes(b, itemsize)
+
+
+def task_time(shape: TaskShape, machine: MachineSpec, *, shgemm_mode: str = "sgemm_fallback") -> float:
+    """Roofline duration of one task on one core."""
+    flops = task_flops(shape)
+    nbytes = task_bytes(shape)
+    if shape.low_rank:
+        rate = machine.tlr_rate(shape.precision)
+    else:
+        rate = machine.dense_rate(shape.precision, shgemm_mode=shgemm_mode)
+    compute = flops / rate
+    memory = nbytes / machine.core_mem_bw()
+    return max(compute, memory) + machine.task_overhead_s

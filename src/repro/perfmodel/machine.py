@@ -1,0 +1,142 @@
+"""Machine specifications for the performance model.
+
+The paper's structure-aware runtime decision and its scaling results
+hinge on per-core kernel rates of the Fujitsu A64FX (Fugaku) with
+Sector Cache Optimizations disabled — the paper reports this caps
+sustained node performance at 65% of peak (Section VI).  We encode the
+published hardware numbers plus that efficiency; the Shaheen II Haswell
+spec is included because the accuracy experiments ran there.
+
+Rates are *modeled*, not measured on this host: the discrete-event
+simulator uses them to execute the real task DAG at Fugaku scale, which
+is the substitution documented in DESIGN.md for the hardware we do not
+have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tile.precision import Precision
+
+__all__ = ["MachineSpec", "A64FX", "FUGAKU_NODE", "HASWELL_NODE", "SHGEMM_MODES"]
+
+#: How FP16-stored tiles are multiplied (paper Section VII-C / Fig. 8):
+#: - ``"shgemm"``: BLIS-style FP16 inputs with FP32 accumulation
+#:   (works, but slower than SGEMM on A64FX);
+#: - ``"sgemm_fallback"``: promote to FP32 and call SGEMM (the paper's
+#:   production choice — "we fall back to SGEMM from SSL for
+#:   performance, without trading off accuracy");
+#: - ``"hgemm"``: pure FP16 accumulation (fast but numerically unusable
+#:   for MLE; modeled for completeness).
+SHGEMM_MODES = ("shgemm", "sgemm_fallback", "hgemm")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-node hardware model.
+
+    ``peak_gflops`` maps storage precision to the *node* peak in
+    Gflop/s for dense compute at that precision; ``efficiency`` is the
+    sustained fraction of peak for compute-bound dense kernels;
+    ``tlr_efficiency`` the (much lower) fraction achieved by the
+    memory-bound low-rank kernels (QR/SVD-dominated, strided access).
+    """
+
+    name: str
+    cores_per_node: int
+    peak_gflops: dict[Precision, float]
+    mem_bw_gbs: float  # node HBM/DDR bandwidth, GB/s
+    net_bw_gbs: float  # injection bandwidth per node, GB/s
+    net_latency_s: float
+    efficiency: float = 0.65
+    tlr_efficiency: float = 0.07
+    shgemm_relative: float = 0.7  # SHGEMM rate relative to SGEMM (Fig. 8)
+    task_overhead_s: float = 2.0e-6  # runtime per-task scheduling overhead
+    extras: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def core_peak_gflops(self, precision: Precision) -> float:
+        return self.peak_gflops[precision] / self.cores_per_node
+
+    def dense_rate(self, precision: Precision, *, shgemm_mode: str = "sgemm_fallback") -> float:
+        """Sustained dense-kernel rate per core, flop/s.
+
+        For FP16 the rate depends on the SHGEMM mode: the fallback runs
+        at the FP32 rate (data stored FP16, compute FP32), BLIS SHGEMM
+        at ``shgemm_relative`` x FP32, pure HGEMM at the FP16 peak.
+        """
+        if shgemm_mode not in SHGEMM_MODES:
+            raise ValueError(f"unknown shgemm_mode {shgemm_mode!r}")
+        if precision is Precision.FP16:
+            fp32 = self.core_peak_gflops(Precision.FP32)
+            if shgemm_mode == "sgemm_fallback":
+                rate = fp32
+            elif shgemm_mode == "shgemm":
+                rate = fp32 * self.shgemm_relative
+            else:  # hgemm
+                rate = self.core_peak_gflops(Precision.FP16)
+        else:
+            rate = self.core_peak_gflops(precision)
+        return rate * self.efficiency * 1.0e9
+
+    def tlr_rate(self, precision: Precision) -> float:
+        """Sustained low-rank kernel rate per core, flop/s.  FP16 is not
+        used for TLR tiles (Algorithm 2 restricts LR to FP64/FP32), so
+        FP16 falls back to the FP32 rate."""
+        p = Precision.FP32 if precision is Precision.FP16 else precision
+        return self.core_peak_gflops(p) * self.tlr_efficiency * 1.0e9
+
+    def core_mem_bw(self) -> float:
+        """Memory bandwidth share per core, bytes/s."""
+        return self.mem_bw_gbs * 1.0e9 / self.cores_per_node
+
+    def comm_time(self, nbytes: int) -> float:
+        """Point-to-point transfer time for one message."""
+        return self.net_latency_s + nbytes / (self.net_bw_gbs * 1.0e9)
+
+
+def _a64fx() -> MachineSpec:
+    # A64FX: 48 compute cores @ 2.0 GHz, 2x512-bit FMA pipes
+    # -> 3.072 Tflop/s FP64 per node; FP32 2x, FP16 4x. HBM2: 1024 GB/s.
+    # TofuD: 6 lanes x 6.8 GB/s injection, ~0.5 us put latency.
+    return MachineSpec(
+        name="A64FX (Fugaku node, SCO disabled)",
+        cores_per_node=48,
+        peak_gflops={
+            Precision.FP64: 3072.0,
+            Precision.FP32: 6144.0,
+            Precision.FP16: 12288.0,
+        },
+        mem_bw_gbs=1024.0,
+        net_bw_gbs=40.8,
+        net_latency_s=0.7e-6,
+        efficiency=0.65,
+    )
+
+
+def _haswell() -> MachineSpec:
+    # Shaheen II node: 2 x 16-core Intel Haswell @ 2.3 GHz,
+    # 16 DP flop/cycle/core -> ~1177 Gflop/s FP64; no FP16 units
+    # (the paper trims operands to FP16 and accumulates with SGEMM),
+    # so the FP16 "peak" equals FP32.  Aries: ~10 GB/s injection.
+    return MachineSpec(
+        name="Haswell (Shaheen II node)",
+        cores_per_node=32,
+        peak_gflops={
+            Precision.FP64: 1177.6,
+            Precision.FP32: 2355.2,
+            Precision.FP16: 2355.2,
+        },
+        mem_bw_gbs=136.0,
+        net_bw_gbs=10.0,
+        net_latency_s=1.3e-6,
+        efficiency=0.80,
+    )
+
+
+#: The paper's benchmarking platform (Figs. 5, 7-11).
+A64FX: MachineSpec = _a64fx()
+FUGAKU_NODE: MachineSpec = A64FX
+#: The paper's accuracy-validation platform.
+HASWELL_NODE: MachineSpec = _haswell()

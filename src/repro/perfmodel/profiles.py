@@ -1,0 +1,148 @@
+"""Offset-class profiles: projecting measured tile plans to paper scale.
+
+At full paper scale (matrix dimension 10^6-10^7, NT ~ 3000) the task
+set is too large to enumerate, but the *decision pattern* of the
+adaptive plans is essentially a function of the normalized off-diagonal
+offset ``d / NT``:
+
+* the Frobenius precision rule is scale-invariant in that variable —
+  the tile/global norm ratio and the rule threshold both carry a
+  ``1/NT`` factor that cancels;
+* epsilon-ranks of well-separated cluster interactions saturate with
+  tile size (standard hierarchical-matrix admissibility), so measured
+  absolute ranks at small scale are a faithful stand-in at large scale.
+
+A :class:`PlanProfile` therefore records, per sub-diagonal offset of a
+*measured* laptop-scale plan, the fraction of tiles in each
+(structure, precision) class and the mean low-rank rank.  The scaling
+estimator (:mod:`repro.perfmodel.cholesky`) interpolates it at any
+target NT and re-applies the *scale-dependent* decisions (Fig. 5
+crossover, Algorithm 2 band) at the target tile size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..tile.decisions import TilePlan
+from ..tile.precision import Precision
+
+__all__ = ["CLASSES", "PlanProfile"]
+
+#: Tile classes tracked by profiles (order fixed; arrays index into it).
+CLASSES: tuple[str, ...] = (
+    "dense/FP64",
+    "dense/FP32",
+    "dense/FP16",
+    "lr/FP64",
+    "lr/FP32",
+)
+
+_CLASS_INDEX = {name: k for k, name in enumerate(CLASSES)}
+_PRECISION_OF_CLASS = {
+    "dense/FP64": Precision.FP64,
+    "dense/FP32": Precision.FP32,
+    "dense/FP16": Precision.FP16,
+    "lr/FP64": Precision.FP64,
+    "lr/FP32": Precision.FP32,
+}
+
+
+def _class_label(low_rank: bool, precision: Precision) -> str:
+    kind = "lr" if low_rank else "dense"
+    return f"{kind}/{precision.label}"
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """Per-offset class fractions and mean LR ranks of a tile plan.
+
+    ``fractions[d, c]`` is the fraction of tiles at sub-diagonal offset
+    ``d`` in class ``c`` (rows sum to 1); ``mean_rank[d]`` the mean
+    rank of the low-rank tiles there (0 when none).  ``nt`` is the tile
+    count of the measured plan.
+    """
+
+    fractions: np.ndarray
+    mean_rank: np.ndarray
+    nt: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fractions.shape != (self.nt, len(CLASSES)):
+            raise ConfigurationError("fractions must be (nt, n_classes)")
+        if self.mean_rank.shape != (self.nt,):
+            raise ConfigurationError("mean_rank must be (nt,)")
+        sums = self.fractions.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ConfigurationError("class fractions must sum to 1 per offset")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(cls, plan: TilePlan, label: str = "") -> "PlanProfile":
+        """Aggregate a measured :class:`TilePlan` by sub-diagonal offset."""
+        nt = plan.nt
+        counts = np.zeros((nt, len(CLASSES)), dtype=np.float64)
+        rank_sum = np.zeros(nt)
+        rank_cnt = np.zeros(nt)
+        ranks = plan.meta.get("ranks", {})
+        for (i, j), precision in plan.precisions.items():
+            d = i - j
+            lr = plan.use_lr[(i, j)]
+            counts[d, _CLASS_INDEX[_class_label(lr, precision)]] += 1.0
+            if lr:
+                rank_sum[d] += ranks.get((i, j), plan.layout.tile_size // 2)
+                rank_cnt[d] += 1.0
+        totals = counts.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        fractions = counts / totals
+        mean_rank = np.where(rank_cnt > 0, rank_sum / np.maximum(rank_cnt, 1), 0.0)
+        return cls(fractions=fractions, mean_rank=mean_rank, nt=nt, label=label)
+
+    @classmethod
+    def dense_fp64(cls, nt: int = 2, label: str = "dense-fp64") -> "PlanProfile":
+        """The reference variant: everything dense FP64."""
+        fr = np.zeros((nt, len(CLASSES)))
+        fr[:, _CLASS_INDEX["dense/FP64"]] = 1.0
+        return cls(fractions=fr, mean_rank=np.zeros(nt), nt=nt, label=label)
+
+    # ------------------------------------------------------------------
+    def at_offsets(self, nt_target: int) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolate (fractions, mean_rank) onto ``nt_target``
+        offsets by matching normalized offset ``d / nt``."""
+        if nt_target < 1:
+            raise ConfigurationError("target nt must be >= 1")
+        src = np.arange(self.nt) / max(self.nt - 1, 1)
+        dst = np.arange(nt_target) / max(nt_target - 1, 1)
+        fr = np.empty((nt_target, len(CLASSES)))
+        for c in range(len(CLASSES)):
+            fr[:, c] = np.interp(dst, src, self.fractions[:, c])
+        # Renormalize interpolation drift.
+        fr /= fr.sum(axis=1, keepdims=True)
+        # Rank interpolation over offsets that actually carry low-rank
+        # tiles; the diagonal's structural rank-0 entry must not drag
+        # near-diagonal ranks toward zero.
+        carrier = np.nonzero(self.mean_rank > 0)[0]
+        if carrier.size:
+            mr = np.interp(dst, src[carrier], self.mean_rank[carrier])
+        else:
+            mr = np.zeros(nt_target)
+        return fr, mr
+
+    def class_fraction(self, name: str) -> float:
+        """Overall fraction of lower-triangle tiles in a class,
+        weighting offset ``d`` by its tile count ``nt - d``."""
+        weights = (self.nt - np.arange(self.nt)).astype(np.float64)
+        col = self.fractions[:, _CLASS_INDEX[name]]
+        return float(np.sum(col * weights) / np.sum(weights))
+
+    @staticmethod
+    def class_precision(name: str) -> Precision:
+        return _PRECISION_OF_CLASS[name]
+
+    @staticmethod
+    def class_is_lr(name: str) -> bool:
+        return name.startswith("lr/")

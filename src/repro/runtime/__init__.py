@@ -1,0 +1,57 @@
+"""PaRSEC-like dynamic task runtime (simulated distributed execution).
+
+Components:
+
+* :mod:`~repro.runtime.task` / :mod:`~repro.runtime.taskgraph` —
+  parameterized task-stream generators (Algorithm 1 as tasks);
+* :mod:`~repro.runtime.dag` — dataflow dependence analysis;
+* :mod:`~repro.runtime.distribution` — 2-D block-cyclic ownership;
+* :mod:`~repro.runtime.scheduler` — list-scheduling priorities;
+* :mod:`~repro.runtime.engine` — real sequential execution (numbers);
+* :mod:`~repro.runtime.simulator` — discrete-event distributed
+  simulation (time), the documented stand-in for Fugaku;
+* :mod:`~repro.runtime.comm` / :mod:`~repro.runtime.trace` —
+  wire-format volume model and execution traces.
+"""
+
+from .comm import conversion_count, plan_wire_bytes, tile_wire_bytes
+from .dag import build_dag, critical_path_length, validate_schedule
+from .distribution import BlockCyclic2D, square_process_grid
+from .engine import execute_cholesky_tasks, execute_forward_solve_tasks
+from .gantt import render_gantt, utilization_profile
+from .parallel import ParallelRunReport, execute_cholesky_parallel
+from .scheduler import panel_priorities, upward_ranks
+from .simulator import SimConfig, plan_rank_of, shape_for_task, simulate_tasks
+from .task import TILE_OPS, Task
+from .taskgraph import cholesky_task_count, cholesky_tasks, forward_solve_tasks
+from .trace import ExecutionTrace, TaskRecord
+
+__all__ = [
+    "Task",
+    "TILE_OPS",
+    "cholesky_tasks",
+    "cholesky_task_count",
+    "forward_solve_tasks",
+    "build_dag",
+    "critical_path_length",
+    "validate_schedule",
+    "BlockCyclic2D",
+    "square_process_grid",
+    "upward_ranks",
+    "panel_priorities",
+    "execute_cholesky_tasks",
+    "execute_forward_solve_tasks",
+    "render_gantt",
+    "execute_cholesky_parallel",
+    "ParallelRunReport",
+    "utilization_profile",
+    "SimConfig",
+    "simulate_tasks",
+    "shape_for_task",
+    "plan_rank_of",
+    "tile_wire_bytes",
+    "plan_wire_bytes",
+    "conversion_count",
+    "ExecutionTrace",
+    "TaskRecord",
+]

@@ -1,0 +1,59 @@
+"""Communication volume model with on-demand precision conversion.
+
+PaRSEC's key data-movement feature in the paper is that a tile travels
+in its *storage* representation (structure + precision) and is
+converted at the receiver, so an FP16 tile costs a quarter of the FP64
+bytes on the wire and a rank-``r`` tile ``r (m + n) / (m n)`` of its
+dense footprint.  :func:`tile_wire_bytes` encodes exactly that and
+feeds both the DAG simulator and the aggregate scaling estimator.
+"""
+
+from __future__ import annotations
+
+from ..tile.decisions import TilePlan
+from ..tile.layout import TileLayout
+from ..tile.precision import Precision
+
+__all__ = ["tile_wire_bytes", "plan_wire_bytes", "conversion_count"]
+
+
+def tile_wire_bytes(
+    layout: TileLayout,
+    key: tuple[int, int],
+    precision: Precision,
+    *,
+    low_rank: bool = False,
+    rank: int = 0,
+) -> int:
+    """Bytes on the wire for one tile in its storage representation.
+
+    RHS blocks ``(i, -1)`` are vectors of the block length in FP64.
+    """
+    i, j = key
+    if j < 0:
+        return 8 * layout.block_size(i)
+    m, n = layout.tile_shape(i, j)
+    if low_rank:
+        return precision.itemsize * rank * (m + n)
+    return precision.itemsize * m * n
+
+
+def plan_wire_bytes(plan: TilePlan, key: tuple[int, int]) -> int:
+    """Wire bytes of a planned tile (rank from the plan metadata)."""
+    if key[1] < 0:
+        return tile_wire_bytes(plan.layout, key, Precision.FP64)
+    precision = plan.precisions[key]
+    if plan.use_lr[key]:
+        rank = plan.meta.get("ranks", {}).get(key, plan.layout.tile_size // 2)
+        return tile_wire_bytes(
+            plan.layout, key, precision, low_rank=True, rank=rank
+        )
+    return tile_wire_bytes(plan.layout, key, precision)
+
+
+def conversion_count(
+    sender_precision: Precision, receiver_precision: Precision
+) -> int:
+    """1 when the receiver must cast the payload, else 0 — the
+    simulator charges a bandwidth-bound conversion pass for it."""
+    return int(sender_precision is not receiver_precision)

@@ -1,0 +1,70 @@
+"""2-D block-cyclic tile-to-node ownership.
+
+PaRSEC decouples data distribution from task code; the standard
+distribution for tile Cholesky is the 2-D block cyclic map, which
+bounds the panel-broadcast fan-out at ``p + q`` instead of ``P``.
+Tasks execute on the node owning their output tile ("owner computes").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["BlockCyclic2D", "square_process_grid"]
+
+
+def square_process_grid(nodes: int) -> tuple[int, int]:
+    """The most square ``(p, q)`` factorization with ``p * q == nodes``
+    and ``p <= q``."""
+    if nodes < 1:
+        raise ConfigurationError("node count must be positive")
+    p = int(math.isqrt(nodes))
+    while nodes % p:
+        p -= 1
+    return p, nodes // p
+
+
+@dataclass(frozen=True)
+class BlockCyclic2D:
+    """Ownership map ``owner(i, j) = (i mod p) * q + (j mod q)``."""
+
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.q < 1:
+            raise ConfigurationError("process grid dimensions must be >= 1")
+
+    @classmethod
+    def squarest(cls, nodes: int) -> "BlockCyclic2D":
+        return cls(*square_process_grid(nodes))
+
+    @property
+    def nodes(self) -> int:
+        return self.p * self.q
+
+    def owner(self, i: int, j: int) -> int:
+        """Node rank owning tile ``(i, j)``.  RHS blocks ``(i, -1)``
+        follow their row's cyclic owner in column 0."""
+        jj = j if j >= 0 else 0
+        return (i % self.p) * self.q + (jj % self.q)
+
+    def tiles_of(self, node: int, nt: int) -> list[tuple[int, int]]:
+        """Lower-triangle tiles owned by ``node``."""
+        return [
+            (i, j)
+            for i in range(nt)
+            for j in range(i + 1)
+            if self.owner(i, j) == node
+        ]
+
+    def row_fanout(self) -> int:
+        """Number of distinct owners in one tile row — the broadcast
+        fan-out of a panel tile."""
+        return self.q
+
+    def col_fanout(self) -> int:
+        return self.p

@@ -1,0 +1,93 @@
+"""Text rendering of execution traces.
+
+A terminal Gantt chart (one row per node, time bucketed into columns,
+glyph = dominant kernel in the bucket) plus a utilization profile —
+the runtime-behavior visuals of a trace without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .trace import ExecutionTrace
+
+__all__ = ["render_gantt", "utilization_profile"]
+
+_OP_GLYPH = {"potrf": "P", "trsm": "T", "syrk": "S", "gemm": "G"}
+
+
+def render_gantt(
+    trace: ExecutionTrace, *, width: int = 80, max_nodes: int = 16
+) -> str:
+    """ASCII Gantt chart of a trace.
+
+    Each row is one node; each column a time bucket of
+    ``makespan / width``; the glyph is the op with the most busy time
+    in that bucket ('.' = idle).  Rows beyond ``max_nodes`` are elided.
+    """
+    if width < 2:
+        raise ShapeError("width must be >= 2")
+    makespan = trace.makespan
+    if makespan <= 0.0:
+        return "(empty trace)"
+    shown = min(trace.nodes, max_nodes)
+    bucket = makespan / width
+    # busy[node][col][op] -> time
+    busy: list[list[dict[str, float]]] = [
+        [dict() for _ in range(width)] for _ in range(shown)
+    ]
+    for rec in trace.records:
+        if rec.node >= shown:
+            continue
+        c0 = min(int(rec.start / bucket), width - 1)
+        c1 = min(int(max(rec.end - 1e-15, rec.start) / bucket), width - 1)
+        for col in range(c0, c1 + 1):
+            lo = max(rec.start, col * bucket)
+            hi = min(rec.end, (col + 1) * bucket)
+            if hi > lo:
+                cell = busy[rec.node][col]
+                cell[rec.op] = cell.get(rec.op, 0.0) + (hi - lo)
+    lines = [f"gantt: {makespan:.6g}s over {trace.nodes} nodes "
+             f"({_legend()})"]
+    for node in range(shown):
+        row = []
+        for col in range(width):
+            cell = busy[node][col]
+            if not cell:
+                row.append(".")
+            else:
+                op = max(cell, key=cell.get)
+                row.append(_OP_GLYPH.get(op, "?"))
+        lines.append(f"n{node:02d} |" + "".join(row) + "|")
+    if trace.nodes > shown:
+        lines.append(f"... ({trace.nodes - shown} more nodes)")
+    return "\n".join(lines)
+
+
+def _legend() -> str:
+    return ", ".join(f"{g}={op}" for op, g in _OP_GLYPH.items())
+
+
+def utilization_profile(
+    trace: ExecutionTrace, *, buckets: int = 20
+) -> np.ndarray:
+    """Fraction of core-time busy in each of ``buckets`` equal time
+    windows — the classic fill/drain curve of a Cholesky run."""
+    if buckets < 1:
+        raise ShapeError("need at least one bucket")
+    makespan = trace.makespan
+    capacity = trace.nodes * trace.cores_per_node
+    out = np.zeros(buckets)
+    if makespan <= 0.0 or capacity == 0:
+        return out
+    width = makespan / buckets
+    for rec in trace.records:
+        c0 = min(int(rec.start / width), buckets - 1)
+        c1 = min(int(max(rec.end - 1e-15, rec.start) / width), buckets - 1)
+        for col in range(c0, c1 + 1):
+            lo = max(rec.start, col * width)
+            hi = min(rec.end, (col + 1) * width)
+            if hi > lo:
+                out[col] += hi - lo
+    return out / (width * capacity)

@@ -1,0 +1,159 @@
+"""Threaded parallel execution engine.
+
+The discrete-event simulator predicts schedules; this engine *runs*
+them: a worker pool consumes ready tasks from a priority queue,
+dependence counters release successors as results land, and each tile
+kernel executes for real.  NumPy/BLAS releases the GIL inside the
+heavy kernels, so on a multi-core host the DAG parallelism is genuine
+— a working single-node analogue of PaRSEC's shared-memory scheduling.
+
+Determinism note: tiles are replaced atomically under a lock and the
+dependence structure serializes conflicting accesses, so results are
+bit-identical to the sequential engine for dense FP64 and
+representation-identical for approximate variants.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+import time
+
+import networkx as nx
+
+from ..exceptions import SchedulingError
+from ..tile import kernels as K
+from ..tile.matrix import TileMatrix
+from .dag import build_dag
+from .scheduler import panel_priorities
+from .task import Task
+
+__all__ = ["ParallelRunReport", "execute_cholesky_parallel"]
+
+
+@dataclass
+class ParallelRunReport:
+    """Outcome of a threaded run."""
+
+    workers: int
+    tasks: int
+    wall_time_s: float
+    max_concurrency: int = 1
+    errors: list[str] = field(default_factory=list)
+
+
+def execute_cholesky_parallel(
+    matrix: TileMatrix,
+    *,
+    workers: int = 4,
+    tile_tol: float = 0.0,
+    max_rank: int | None = None,
+    fp16_accumulate_fp32: bool = True,
+    tasks: list[Task] | None = None,
+    dag: nx.DiGraph | None = None,
+) -> tuple[TileMatrix, ParallelRunReport]:
+    """Factor ``matrix`` in place using a thread pool over the task DAG.
+
+    Raises :class:`~repro.exceptions.SchedulingError` if any task
+    failed (the first underlying exception is chained).
+    """
+    if workers < 1:
+        raise SchedulingError("need at least one worker")
+    if tasks is None:
+        from .taskgraph import cholesky_tasks
+
+        tasks = list(cholesky_tasks(matrix.nt))
+    if dag is None:
+        dag = build_dag(tasks)
+    task_by_uid = {t.uid: t for t in tasks}
+    prio = panel_priorities(dag)
+
+    lock = threading.Lock()
+    indegree = {uid: dag.in_degree(uid) for uid in dag.nodes}
+    ready: list[tuple[float, int]] = [
+        (-prio[uid], uid) for uid, deg in indegree.items() if deg == 0
+    ]
+    heapq.heapify(ready)
+    remaining = len(tasks)
+    done = threading.Condition(lock)
+    errors: list[BaseException] = []
+    running = 0
+    max_running = 0
+
+    def run_task(task: Task) -> None:
+        if task.op == "potrf":
+            out = K.potrf(matrix.get(*task.output), index=task.output)
+        elif task.op == "trsm":
+            (lkk,) = task.inputs
+            out = K.trsm(
+                matrix.get(*lkk), matrix.get(*task.output),
+                fp16_accumulate_fp32=fp16_accumulate_fp32,
+            )
+        elif task.op == "syrk":
+            (amk,) = task.inputs
+            out = K.syrk(
+                matrix.get(*amk), matrix.get(*task.output),
+                fp16_accumulate_fp32=fp16_accumulate_fp32,
+            )
+        else:
+            amk, ank = task.inputs
+            out = K.gemm(
+                matrix.get(*amk), matrix.get(*ank),
+                matrix.get(*task.output),
+                tol=tile_tol, max_rank=max_rank,
+                fp16_accumulate_fp32=fp16_accumulate_fp32,
+            )
+        matrix.set(*task.output, out)
+
+    def worker_loop() -> None:
+        nonlocal remaining, running, max_running
+        while True:
+            with done:
+                while not ready and remaining > 0 and not errors:
+                    done.wait()
+                if remaining == 0 or errors:
+                    done.notify_all()
+                    return
+                _, uid = heapq.heappop(ready)
+                running += 1
+                max_running = max(max_running, running)
+            task = task_by_uid[uid]
+            try:
+                run_task(task)
+            except BaseException as exc:  # propagate to the caller
+                with done:
+                    errors.append(exc)
+                    running -= 1
+                    done.notify_all()
+                return
+            with done:
+                running -= 1
+                remaining -= 1
+                for succ in dag.successors(uid):
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        heapq.heappush(ready, (-prio[succ], succ))
+                done.notify_all()
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(worker_loop) for _ in range(workers)]
+        for f in futures:
+            f.result()
+    wall = time.perf_counter() - t0
+
+    if errors:
+        raise SchedulingError(
+            f"parallel execution failed: {errors[0]!r}"
+        ) from errors[0]
+    if remaining != 0:  # pragma: no cover - invariant
+        raise SchedulingError(f"{remaining} tasks never executed")
+    report = ParallelRunReport(
+        workers=workers,
+        tasks=len(tasks),
+        wall_time_s=wall,
+        max_concurrency=max_running,
+    )
+    return matrix, report

@@ -1,0 +1,47 @@
+"""Task objects of the PaRSEC-like runtime.
+
+A :class:`Task` names one tile kernel invocation: the operation, the
+panel step ``k`` it belongs to, the tile it overwrites (its *output*)
+and the tiles it reads.  Tasks are produced in the sequential
+(reference) order by :mod:`repro.runtime.taskgraph`; the dataflow
+analysis in :mod:`repro.runtime.dag` recovers the parallelism exactly
+the way a task-insertion runtime would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Task", "TILE_OPS"]
+
+TILE_OPS = ("potrf", "trsm", "syrk", "gemm")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One tile kernel invocation.
+
+    ``uid`` is the position in the sequential reference order and
+    doubles as the node id in the DAG.  ``inputs`` lists read-only tile
+    operands; ``output`` is read-write.  ``k`` is the Cholesky panel
+    index (used for priorities and progress grouping).
+    """
+
+    uid: int
+    op: str
+    k: int
+    output: tuple[int, int]
+    inputs: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.op not in TILE_OPS:
+            raise ValueError(f"unknown op {self.op!r}")
+
+    @property
+    def tiles(self) -> tuple[tuple[int, int], ...]:
+        """All tiles touched (output first)."""
+        return (self.output,) + self.inputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ",".join(f"({i},{j})" for i, j in self.inputs)
+        return f"Task#{self.uid} {self.op}[k={self.k}] out={self.output} in=[{ins}]"

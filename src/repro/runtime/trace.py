@@ -1,0 +1,139 @@
+"""Execution traces: per-task records and aggregate statistics.
+
+Both the real engine and the discrete-event simulator emit an
+:class:`ExecutionTrace`; reports (load imbalance, per-kernel breakdown,
+sustained rate) come from here, mirroring the "Timers; Flops"
+measurement mechanism row of the paper's performance-attributes table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task."""
+
+    uid: int
+    op: str
+    node: int
+    core: int
+    start: float
+    end: float
+    flops: float = 0.0
+    comm_bytes: float = 0.0
+    conversions: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Collection of task records plus schedule-level aggregates."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+    nodes: int = 1
+    cores_per_node: int = 1
+
+    def add(self, record: TaskRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(r.flops for r in self.records)
+
+    @property
+    def total_comm_bytes(self) -> float:
+        return sum(r.comm_bytes for r in self.records)
+
+    @property
+    def total_conversions(self) -> int:
+        return sum(r.conversions for r in self.records)
+
+    def busy_time_by_node(self) -> dict[int, float]:
+        busy: dict[int, float] = {}
+        for r in self.records:
+            busy[r.node] = busy.get(r.node, 0.0) + r.duration
+        return busy
+
+    def load_imbalance(self) -> float:
+        """max/mean node busy time; 1.0 is perfectly balanced.
+        Nodes with no tasks count as zero busy time."""
+        busy = self.busy_time_by_node()
+        if not busy:
+            return 1.0
+        values = [busy.get(n, 0.0) for n in range(self.nodes)]
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0 else float("inf")
+
+    def time_by_op(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.op] = out.get(r.op, 0.0) + r.duration
+        return out
+
+    def sustained_flops(self) -> float:
+        """Aggregate flop rate over the makespan (flop/s)."""
+        ms = self.makespan
+        return self.total_flops / ms if ms > 0 else 0.0
+
+    def parallel_efficiency(self) -> float:
+        """Busy time over available core-time within the makespan."""
+        capacity = self.makespan * self.nodes * self.cores_per_node
+        if capacity <= 0:
+            return 0.0
+        return sum(r.duration for r in self.records) / capacity
+
+    def start_end_maps(self) -> tuple[dict[int, float], dict[int, float]]:
+        """(start, end) keyed by uid, for schedule validation."""
+        return (
+            {r.uid: r.start for r in self.records},
+            {r.uid: r.end for r in self.records},
+        )
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome ``about://tracing`` / Perfetto event list.
+
+        One complete-duration (``"ph": "X"``) event per task, with the
+        node as the process id and the core as the thread id — drop the
+        JSON into any trace viewer to inspect the schedule.
+        """
+        events: list[dict] = []
+        for r in self.records:
+            events.append({
+                "name": r.op,
+                "cat": "tile-task",
+                "ph": "X",
+                "ts": r.start * 1e6,     # microseconds
+                "dur": r.duration * 1e6,
+                "pid": r.node,
+                "tid": r.core,
+                "args": {
+                    "uid": r.uid,
+                    "gflops": r.flops / 1e9,
+                    "comm_bytes": r.comm_bytes,
+                    "conversions": r.conversions,
+                },
+            })
+        return events
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "tasks": float(len(self.records)),
+            "makespan_s": self.makespan,
+            "total_gflops": self.total_flops / 1e9,
+            "sustained_gflops": self.sustained_flops() / 1e9,
+            "comm_gbytes": self.total_comm_bytes / 1e9,
+            "conversions": float(self.total_conversions),
+            "load_imbalance": self.load_imbalance(),
+            "parallel_efficiency": self.parallel_efficiency(),
+        }

@@ -1,0 +1,95 @@
+"""Empirical semivariogram estimation.
+
+The classical diagnostic connecting data to covariance models:
+
+    gamma(h) = 0.5 * E[(Z(s) - Z(s + h))^2]
+             = C(0) - C(h)   (for a stationary field)
+
+:func:`empirical_variogram` bins squared increments by distance
+(Matheron's estimator); :func:`theoretical_variogram` evaluates a
+kernel's implied curve so surrogates and fits can be eyeballed against
+the data — the validation step between "we have numbers" and "the
+surrogate behaves like the dataset it stands in for".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..kernels.base import CovarianceKernel
+from ..kernels.distance import pairwise_distance
+
+__all__ = ["VariogramEstimate", "empirical_variogram", "theoretical_variogram"]
+
+
+@dataclass(frozen=True)
+class VariogramEstimate:
+    """Binned empirical semivariogram."""
+
+    bin_centers: np.ndarray
+    gamma: np.ndarray
+    counts: np.ndarray
+
+    def valid(self) -> np.ndarray:
+        """Mask of bins with at least one pair."""
+        return self.counts > 0
+
+
+def empirical_variogram(
+    x: np.ndarray,
+    z: np.ndarray,
+    *,
+    n_bins: int = 15,
+    max_distance: float | None = None,
+) -> VariogramEstimate:
+    """Matheron estimator over equal-width distance bins.
+
+    ``max_distance`` defaults to half the maximum pairwise distance
+    (beyond which pairs are scarce and the estimator noisy).
+    """
+    z = np.asarray(z, dtype=np.float64).ravel()
+    if len(z) != len(x):
+        raise ShapeError("x and z lengths differ")
+    if len(z) < 2:
+        raise ShapeError("need at least two observations")
+    if n_bins < 1:
+        raise ShapeError("need at least one bin")
+    d = pairwise_distance(np.asarray(x, dtype=np.float64))
+    iu = np.triu_indices(len(z), k=1)
+    dists = d[iu]
+    sq = 0.5 * (z[iu[0]] - z[iu[1]]) ** 2
+    if max_distance is None:
+        max_distance = 0.5 * float(dists.max())
+    keep = dists <= max_distance
+    dists, sq = dists[keep], sq[keep]
+    edges = np.linspace(0.0, max_distance, n_bins + 1)
+    idx = np.clip(np.digitize(dists, edges) - 1, 0, n_bins - 1)
+    gamma = np.zeros(n_bins)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    np.add.at(gamma, idx, sq)
+    np.add.at(counts, idx, 1)
+    nonzero = counts > 0
+    gamma[nonzero] /= counts[nonzero]
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return VariogramEstimate(bin_centers=centers, gamma=gamma, counts=counts)
+
+
+def theoretical_variogram(
+    kernel: CovarianceKernel,
+    theta: np.ndarray,
+    distances: np.ndarray,
+) -> np.ndarray:
+    """``gamma(h) = C(0) - C(h)`` along an array of spatial distances
+    (2-D kernels; the lag is laid along the x-axis)."""
+    theta = kernel.validate_theta(theta)
+    distances = np.asarray(distances, dtype=np.float64).ravel()
+    dim = kernel.ndim_locations or 2
+    origin = np.zeros((1, dim))
+    pts = np.zeros((len(distances), dim))
+    pts[:, 0] = distances
+    c_h = kernel(theta, origin, pts)[0]
+    c_0 = kernel.variance(theta)
+    return c_0 - c_h

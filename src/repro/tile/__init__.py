@@ -1,0 +1,79 @@
+"""Tile linear algebra: the mixed-precision + dense/TLR substrate.
+
+Layering inside this subpackage (no cycles):
+
+    precision -> tile -> compression -> layout -> matrix
+    (perfmodel) -> decisions / bandtuning -> assembly
+    kernels -> cholesky / solve
+"""
+
+from .assembly import AssemblyReport, assemble_dense, build_planned_covariance
+from .bandtuning import autotune_band_size, subdiagonal_times
+from .cholesky import CholeskyStats, tile_cholesky
+from .compression import (
+    compress_block,
+    compress_tile,
+    lr_add,
+    rank_of_block,
+    recompress,
+    truncated_svd,
+)
+from .decisions import (
+    TilePlan,
+    band_precision_map,
+    frobenius_precision_map,
+    plan_summary,
+    structure_map,
+)
+from .layout import TileLayout
+from .matrix import TileMatrix
+from .precision import PRECISION_LADDER, Precision, cast_storage, compute_dtype
+from .diagnostics import condition_estimate, power_norm_estimate
+from .refinement import RefinementResult, refine_solve
+from .solve import (
+    backward_solve,
+    forward_solve,
+    symmetric_matvec,
+    tile_apply,
+    tile_logdet,
+)
+from .tile import DenseTile, LowRankTile, Tile
+
+__all__ = [
+    "Precision",
+    "PRECISION_LADDER",
+    "cast_storage",
+    "compute_dtype",
+    "Tile",
+    "DenseTile",
+    "LowRankTile",
+    "TileLayout",
+    "TileMatrix",
+    "truncated_svd",
+    "compress_block",
+    "compress_tile",
+    "recompress",
+    "lr_add",
+    "rank_of_block",
+    "TilePlan",
+    "frobenius_precision_map",
+    "band_precision_map",
+    "structure_map",
+    "plan_summary",
+    "autotune_band_size",
+    "subdiagonal_times",
+    "AssemblyReport",
+    "assemble_dense",
+    "build_planned_covariance",
+    "tile_cholesky",
+    "CholeskyStats",
+    "forward_solve",
+    "backward_solve",
+    "tile_logdet",
+    "RefinementResult",
+    "refine_solve",
+    "power_norm_estimate",
+    "condition_estimate",
+    "tile_apply",
+    "symmetric_matvec",
+]

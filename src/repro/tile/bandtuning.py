@@ -1,0 +1,102 @@
+"""Algorithm 2 of the paper: auto-tuning ``band_size_dense``.
+
+After the covariance matrix is generated and compressed with
+``band_size_dense = 1`` (only the diagonal dense), the rank
+distribution is globalized and the dense band is grown one
+sub-diagonal at a time: sub-diagonal ``ID`` joins the dense band while
+the modeled dense time of its TRSM+GEMM tasks is below
+``fluctuation x`` the modeled TLR time of the same tasks.  Dense tasks
+may run in FP64/FP32/FP16; TLR tasks only in FP64/FP32.
+
+The routine needs only the per-tile ranks and planned precisions — no
+numerical data — so it also runs at paper scale inside the scaling
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_BAND_FLUCTUATION
+from ..perfmodel.kernelmodel import TaskShape, task_time
+from ..perfmodel.machine import MachineSpec
+from .layout import TileLayout
+from .precision import Precision
+
+__all__ = ["subdiagonal_times", "autotune_band_size"]
+
+
+def _lr_precision(p: Precision) -> Precision:
+    """TLR tasks are restricted to FP64/FP32 (Algorithm 2)."""
+    return Precision.FP32 if p is Precision.FP16 else p
+
+
+def subdiagonal_times(
+    layout: TileLayout,
+    band_id: int,
+    ranks: dict[tuple[int, int], int],
+    precisions: dict[tuple[int, int], Precision],
+    machine: MachineSpec,
+) -> tuple[float, float]:
+    """Modeled (dense, TLR) total time of the TRSM and GEMM tasks whose
+    *output* tile sits on sub-diagonal ``band_id`` (``i - j == band_id``).
+
+    Each such tile ``(j + band_id, j)`` receives one TRSM per Cholesky
+    step ``k = j`` and one GEMM per step ``k < j``; we charge the
+    per-step costs accordingly, which reproduces Algorithm 2's
+    "total time-to-solution of TRSM and GEMM of all tiles in
+    sub-diagonal with band_ID = ID".
+    """
+    b = layout.tile_size
+    nt = layout.nt
+    dense_total = 0.0
+    tlr_total = 0.0
+    for j in range(nt - band_id):
+        i = j + band_id
+        p = precisions.get((i, j), Precision.FP64)
+        rank = ranks.get((i, j), b // 2)
+        gemm_count = j  # one GEMM update per previous panel
+        # Dense execution (precision may be FP64/FP32/FP16).
+        dense_total += task_time(TaskShape("trsm", b, p), machine)
+        if gemm_count:
+            dense_total += gemm_count * task_time(TaskShape("gemm", b, p), machine)
+        # TLR execution (precision restricted to FP64/FP32).
+        lp = _lr_precision(p)
+        tlr_total += task_time(
+            TaskShape("trsm", b, lp, low_rank=True, ranks=(rank,)), machine
+        )
+        if gemm_count:
+            tlr_total += gemm_count * task_time(
+                TaskShape(
+                    "gemm", b, lp, low_rank=True, ranks=(rank, rank, rank)
+                ),
+                machine,
+            )
+    return dense_total, tlr_total
+
+
+def autotune_band_size(
+    layout: TileLayout,
+    ranks: dict[tuple[int, int], int],
+    precisions: dict[tuple[int, int], Precision],
+    machine: MachineSpec,
+    *,
+    fluctuation: float = DEFAULT_BAND_FLUCTUATION,
+    max_band: int | None = None,
+) -> int:
+    """Algorithm 2: grow the dense band while dense execution of the
+    next sub-diagonal is cheaper than ``fluctuation x`` its TLR
+    execution.  Returns ``band_size_dense >= 1`` (1 = only the diagonal
+    dense)."""
+    if fluctuation <= 0.0:
+        raise ValueError("fluctuation must be positive")
+    nt = layout.nt
+    max_band = nt if max_band is None else min(max_band, nt)
+    band_id = 1
+    while band_id < max_band:
+        dense_t, tlr_t = subdiagonal_times(
+            layout, band_id, ranks, precisions, machine
+        )
+        if dense_t < fluctuation * tlr_t:
+            band_id += 1
+        else:
+            break
+    return band_id

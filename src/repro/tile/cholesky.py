@@ -1,0 +1,97 @@
+"""Tiled Cholesky factorization (paper Algorithm 1, dense and TLR).
+
+The right-looking tile algorithm:
+
+    for k in 0..NT-1:
+        POTRF  A[k][k]
+        for m in k+1..NT-1:
+            TRSM  A[k][k], A[m][k]
+        for m in k+1..NT-1:
+            SYRK  A[m][k], A[m][m]
+            for n in k+1..m-1:
+                GEMM  A[m][k], A[n][k], A[m][n]
+
+Each tile keeps the structure (dense / low-rank) and storage precision
+assigned by the :class:`~repro.tile.decisions.TilePlan`; the kernels in
+:mod:`repro.tile.kernels` convert operands on demand.  This module is
+the *sequentially executed* reference; the task-based runtime
+(:mod:`repro.runtime`) generates the identical operation stream as a
+DAG and a consistency test pins the two together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_MAX_RANK_FRACTION
+from .matrix import TileMatrix
+
+from . import kernels as K
+
+__all__ = ["CholeskyStats", "tile_cholesky"]
+
+
+@dataclass
+class CholeskyStats:
+    """Execution statistics of one factorization."""
+
+    kernel_counts: dict[str, int] = field(default_factory=dict)
+    densified_tiles: int = 0
+    max_rank_seen: int = 0
+
+    def count(self, op: str) -> None:
+        self.kernel_counts[op] = self.kernel_counts.get(op, 0) + 1
+
+
+def tile_cholesky(
+    a: TileMatrix,
+    *,
+    tile_tol: float = 0.0,
+    max_rank: int | None = None,
+    fp16_accumulate_fp32: bool = True,
+) -> tuple[TileMatrix, CholeskyStats]:
+    """Factor ``A = L L^T`` in place (the lower tiles of ``a`` are
+    replaced by those of ``L``) and return ``(a, stats)``.
+
+    ``tile_tol`` is the absolute tile-level recompression tolerance for
+    low-rank updates (from ``plan.meta['tile_tol']``); ``max_rank``
+    caps LR ranks, beyond which tiles densify on the fly.
+    """
+    nt = a.nt
+    if max_rank is None:
+        max_rank = int(DEFAULT_MAX_RANK_FRACTION * a.layout.tile_size) or None
+    stats = CholeskyStats()
+    for k in range(nt):
+        lkk = K.potrf(a.get(k, k), index=(k, k))
+        a.set(k, k, lkk)
+        stats.count("potrf")
+        for m in range(k + 1, nt):
+            amk = K.trsm(
+                lkk, a.get(m, k), fp16_accumulate_fp32=fp16_accumulate_fp32
+            )
+            a.set(m, k, amk)
+            stats.count("trsm")
+        for m in range(k + 1, nt):
+            amk = a.get(m, k)
+            new_diag = K.syrk(
+                amk, a.get(m, m), fp16_accumulate_fp32=fp16_accumulate_fp32
+            )
+            a.set(m, m, new_diag)
+            stats.count("syrk")
+            for n in range(k + 1, m):
+                was_lr = a.get(m, n).is_low_rank
+                cmn = K.gemm(
+                    amk,
+                    a.get(n, k),
+                    a.get(m, n),
+                    tol=tile_tol,
+                    max_rank=max_rank,
+                    fp16_accumulate_fp32=fp16_accumulate_fp32,
+                )
+                if was_lr and not cmn.is_low_rank:
+                    stats.densified_tiles += 1
+                if cmn.is_low_rank:
+                    stats.max_rank_seen = max(stats.max_rank_seen, cmn.rank)
+                a.set(m, n, cmn)
+                stats.count("gemm")
+    return a, stats

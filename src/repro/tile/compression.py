@@ -1,0 +1,139 @@
+"""Low-rank compression and recompression primitives.
+
+TLR compression truncates the SVD of a tile at an *absolute* Frobenius
+threshold (the caller derives it from the global matrix norm and the
+target accuracy, e.g. ``1e-8`` as in the paper).  Recompression after
+low-rank additions uses the standard QR-of-stacked-factors + small SVD
+scheme, which is what HiCMA does inside the TLR Cholesky update.
+
+All factor arithmetic here runs in float64; storage precision is
+applied by the caller when wrapping results into tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CompressionError
+from .precision import Precision
+from .tile import DenseTile, LowRankTile
+
+__all__ = [
+    "truncated_svd",
+    "compress_block",
+    "compress_tile",
+    "recompress",
+    "lr_add",
+    "rank_of_block",
+]
+
+
+def truncated_svd(
+    a: np.ndarray, tol: float, max_rank: int | None = None
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Rank-truncated SVD ``a ~= u @ v.T`` with Frobenius error <= tol.
+
+    Returns ``(u, v, err)`` where ``err`` is the achieved Frobenius
+    error (the L2 norm of the dropped singular values).  The rank is the
+    smallest ``k`` with ``sqrt(sum_{i>k} s_i^2) <= tol``; rank 0 is
+    returned for tiles that are zero to within ``tol``.
+
+    Raises :class:`~repro.exceptions.CompressionError` when ``max_rank``
+    would be exceeded.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    m, n = a.shape
+    uu, s, vt = np.linalg.svd(a, full_matrices=False)
+    # Residual Frobenius norms: residual[k] = ||A - A_k||_F.
+    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]  # tail[k] = ||s[k:]||_2
+    admissible = np.nonzero(tail <= tol)[0]
+    rank = int(admissible[0]) if admissible.size else len(s)
+    if max_rank is not None and rank > max_rank:
+        raise CompressionError(
+            f"tolerance {tol:g} needs rank {rank} > max_rank {max_rank} "
+            f"for a {m}x{n} block"
+        )
+    err = float(tail[rank]) if rank < len(s) else 0.0
+    u = uu[:, :rank] * s[:rank]
+    v = vt[:rank, :].T
+    return u, v, err
+
+
+def rank_of_block(a: np.ndarray, tol: float) -> int:
+    """Numerical rank of ``a`` at absolute Frobenius tolerance ``tol``
+    (without forming factors)."""
+    s = np.linalg.svd(np.asarray(a, dtype=np.float64), compute_uv=False)
+    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]
+    admissible = np.nonzero(tail <= tol)[0]
+    return int(admissible[0]) if admissible.size else len(s)
+
+
+def compress_block(
+    a: np.ndarray,
+    tol: float,
+    max_rank: int | None = None,
+    precision: Precision = Precision.FP64,
+) -> LowRankTile:
+    """Compress a dense float block into a :class:`LowRankTile`."""
+    u, v, _ = truncated_svd(a, tol, max_rank)
+    return LowRankTile(u, v, precision)
+
+
+def compress_tile(
+    tile: DenseTile,
+    tol: float,
+    max_rank: int | None = None,
+    precision: Precision | None = None,
+) -> LowRankTile:
+    """Compress a :class:`DenseTile`, defaulting to its precision."""
+    return compress_block(
+        tile.to_dense64(), tol, max_rank, precision or tile.precision
+    )
+
+
+def recompress(
+    u: np.ndarray, v: np.ndarray, tol: float, max_rank: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-truncate an existing factorization ``u @ v.T`` to ``tol``.
+
+    Uses thin QR of each factor followed by an SVD of the small
+    ``k x k`` core, so the cost is ``O((m + n) k^2 + k^3)`` rather than
+    a full-tile SVD.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    k = u.shape[1]
+    if k == 0:
+        return u, v
+    qu, ru = np.linalg.qr(u)
+    qv, rv = np.linalg.qr(v)
+    core = ru @ rv.T
+    cu, s, cvt = np.linalg.svd(core)
+    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]
+    admissible = np.nonzero(tail <= tol)[0]
+    rank = int(admissible[0]) if admissible.size else len(s)
+    if max_rank is not None and rank > max_rank:
+        raise CompressionError(
+            f"recompression to tolerance {tol:g} needs rank {rank} > {max_rank}"
+        )
+    new_u = qu @ (cu[:, :rank] * s[:rank])
+    new_v = qv @ cvt[:rank, :].T
+    return new_u, new_v
+
+
+def lr_add(
+    u1: np.ndarray,
+    v1: np.ndarray,
+    u2: np.ndarray,
+    v2: np.ndarray,
+    tol: float,
+    max_rank: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum of two low-rank representations, recompressed to ``tol``.
+
+    ``u1 @ v1.T + u2 @ v2.T`` is represented exactly by the stacked
+    factors ``[u1 u2] @ [v1 v2].T`` (rank ``k1 + k2``), then truncated.
+    """
+    u = np.hstack([np.asarray(u1, dtype=np.float64), np.asarray(u2, dtype=np.float64)])
+    v = np.hstack([np.asarray(v1, dtype=np.float64), np.asarray(v2, dtype=np.float64)])
+    return recompress(u, v, tol, max_rank)

@@ -1,0 +1,266 @@
+"""Precision-aware and structure-aware tile decisions.
+
+This module implements the two runtime decisions the paper adds to
+PaRSEC (Section V-B):
+
+1. **Precision-aware** (:func:`frobenius_precision_map`): a tile
+   ``A_ij`` may be stored at a lower precision with unit roundoff
+   ``u_low`` when
+
+       ||A_ij||_F  <  u_high * ||A||_F / (NT * u_low),
+
+   which keeps the aggregate perturbation at ``O(u_high * ||A||_F)``
+   [39].  The brute-force band variant of earlier work (Fig. 2(c)) is
+   :func:`band_precision_map`.
+
+2. **Structure-aware** (:func:`structure_map`): an off-diagonal tile
+   stays TLR only when the performance model says its low-rank GEMM is
+   faster than the dense GEMM at the tile's precision (Fig. 5
+   crossover); tiles inside the auto-tuned dense band
+   (:mod:`repro.tile.bandtuning`) are forced dense.
+
+The result is a :class:`TilePlan` — one (structure, precision) label
+per lower-triangle tile — which the assembly applies and the reports
+(Fig. 9 heat maps, memory footprints) summarize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..perfmodel.kernelmodel import TaskShape, task_time
+from ..perfmodel.machine import MachineSpec
+from .layout import TileLayout
+from .precision import PRECISION_LADDER, Precision
+
+__all__ = [
+    "TilePlan",
+    "frobenius_precision_map",
+    "band_precision_map",
+    "structure_map",
+    "plan_summary",
+]
+
+
+@dataclass
+class TilePlan:
+    """Planned (structure, precision) label for each lower tile.
+
+    ``use_lr[i][j]`` and ``precisions[i][j]`` are dictionaries keyed by
+    tile index; helper accessors expose dense NT x NT arrays for the
+    heat-map reports.
+    """
+
+    layout: TileLayout
+    precisions: dict[tuple[int, int], Precision]
+    use_lr: dict[tuple[int, int], bool]
+    tlr_tol: float = 0.0
+    band_size_dense: int = 1
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def nt(self) -> int:
+        return self.layout.nt
+
+    def precision_of(self, i: int, j: int) -> Precision:
+        return self.precisions[(i, j)]
+
+    def is_low_rank(self, i: int, j: int) -> bool:
+        return self.use_lr[(i, j)]
+
+    def precision_grid(self) -> np.ndarray:
+        """NT x NT int array (lower triangle) of precision bit-widths;
+        0 marks unstored (upper) entries.  This is the Fig. 9 map."""
+        grid = np.zeros((self.nt, self.nt), dtype=np.int64)
+        for (i, j), p in self.precisions.items():
+            grid[i, j] = int(p)
+        return grid
+
+    def structure_grid(self) -> np.ndarray:
+        """NT x NT array: 0 unstored, 1 dense, 2 low-rank."""
+        grid = np.zeros((self.nt, self.nt), dtype=np.int64)
+        for (i, j), lr in self.use_lr.items():
+            grid[i, j] = 2 if lr else 1
+        return grid
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for key, p in self.precisions.items():
+            kind = "lr" if self.use_lr[key] else "dense"
+            label = f"{kind}/{p.label}"
+            out[label] = out.get(label, 0) + 1
+        return out
+
+
+def frobenius_precision_map(
+    tile_norms: dict[tuple[int, int], float],
+    global_norm: float,
+    nt: int,
+    *,
+    ladder: tuple[Precision, ...] = (Precision.FP16, Precision.FP32),
+    u_high: float = 1.0e-8,
+    pin_diagonal: bool = True,
+    tile_size: int | None = None,
+) -> dict[tuple[int, int], Precision]:
+    """Adaptive per-tile precision by the Frobenius-norm rule.
+
+    Each tile gets the *lowest* precision in ``ladder`` whose threshold
+    it passes, else FP64.  Diagonal tiles are pinned to FP64 when
+    ``pin_diagonal`` (they feed POTRF, whose breakdown would abort the
+    factorization).
+
+    ``u_high`` is the accuracy the application demands of the stored
+    matrix (the paper: "the precision-aware runtime decision depends
+    only on the required accuracy of the application").  The paper's
+    prose instantiates it as the FP64 machine epsilon; with that
+    literal value essentially no tile ever qualifies for demotion, so —
+    like the software — we default to the application tolerance the
+    paper uses elsewhere (1e-8, the TLR accuracy).  The bound
+    ``||A_hat - A||_F <= u_high * ||A||_F`` holds for any choice.
+
+    When ``tile_size`` is given, the predicted per-tile storage error
+    additionally budgets for IEEE underflow —
+    ``min(||A_ij||, u_low ||A_ij|| + sqrt(m n) eta_low / 2)`` with
+    ``eta_low`` the smallest subnormal — which matters for FP16
+    (entries below ~6e-8 flush) and keeps the aggregate bound valid.
+    """
+    if global_norm < 0 or not np.isfinite(global_norm):
+        raise ConfigurationError(f"invalid global norm {global_norm!r}")
+    order = sorted(set(ladder))  # least accurate first
+    budget = u_high * global_norm / nt
+    out: dict[tuple[int, int], Precision] = {}
+    for (i, j), norm in tile_norms.items():
+        if pin_diagonal and i == j:
+            out[(i, j)] = Precision.FP64
+            continue
+        chosen = Precision.FP64
+        for p in order:
+            predicted = p.unit_roundoff * norm
+            if tile_size is not None:
+                underflow = 0.5 * tile_size * p.smallest_subnormal
+                predicted = min(norm, predicted + underflow)
+            if predicted < budget:
+                chosen = p
+                break
+        out[(i, j)] = chosen
+    return out
+
+
+def band_precision_map(
+    layout: TileLayout,
+    *,
+    fp64_band: int,
+    fp32_band: int | None = None,
+) -> dict[tuple[int, int], Precision]:
+    """Brute-force band precision of the earlier work (Fig. 2(c)).
+
+    Tiles with ``|i - j| < fp64_band`` stay FP64, tiles with
+    ``|i - j| < fp32_band`` become FP32, everything further out FP16.
+    ``fp32_band=None`` means everything outside the FP64 band is FP32
+    (the two-precision variant).
+    """
+    if fp64_band < 1:
+        raise ConfigurationError("fp64_band must be >= 1 (the diagonal)")
+    if fp32_band is not None and fp32_band < fp64_band:
+        raise ConfigurationError("fp32_band must be >= fp64_band")
+    out: dict[tuple[int, int], Precision] = {}
+    for i, j in layout.lower_tiles():
+        off = i - j
+        if off < fp64_band:
+            out[(i, j)] = Precision.FP64
+        elif fp32_band is None or off < fp32_band:
+            out[(i, j)] = Precision.FP32
+        else:
+            out[(i, j)] = Precision.FP16
+    return out
+
+
+def structure_map(
+    layout: TileLayout,
+    ranks: dict[tuple[int, int], int],
+    precisions: dict[tuple[int, int], Precision],
+    machine: MachineSpec | None,
+    *,
+    band_size_dense: int = 1,
+    max_rank_fraction: float = 0.5,
+    mode: str = "perfmodel",
+) -> dict[tuple[int, int], bool]:
+    """Structure-aware decision: keep a tile low-rank only when the
+    modeled TLR GEMM beats the dense GEMM at the tile's precision.
+
+    ``ranks`` gives the compression rank observed for each off-diagonal
+    tile right after generation (the paper makes the decision "right
+    after the generation/compression of the matrix").  Tiles within
+    ``band_size_dense`` of the diagonal are dense by construction.
+    TLR tiles never use FP16 (Algorithm 2 lists FP64/FP32 only), so an
+    FP16-planned tile is evaluated at FP32 for the comparison.
+
+    ``mode="perfmodel"`` applies the paper's machine-model comparison —
+    appropriate at production tile sizes (hundreds to thousands), where
+    the Fig. 5 crossover rank is meaningful.  ``mode="rank"`` keeps any
+    tile whose rank is below ``max_rank_fraction * tile_size`` — the
+    scale-independent criterion used for the numerical experiments in
+    this repository, whose tiles are far smaller than the model's
+    crossover regime.
+    """
+    if mode not in ("perfmodel", "rank"):
+        raise ConfigurationError(f"unknown structure mode {mode!r}")
+    if mode == "perfmodel" and machine is None:
+        raise ConfigurationError("perfmodel structure mode needs a MachineSpec")
+    b = layout.tile_size
+    out: dict[tuple[int, int], bool] = {}
+    hard_cap = int(max_rank_fraction * b)
+    for i, j in layout.lower_tiles():
+        if i - j < band_size_dense:
+            out[(i, j)] = False
+            continue
+        rank = ranks.get((i, j))
+        if rank is None:
+            out[(i, j)] = False
+            continue
+        if rank > hard_cap:
+            out[(i, j)] = False
+            continue
+        if mode == "rank":
+            out[(i, j)] = True
+            continue
+        prec = precisions.get((i, j), Precision.FP64)
+        lr_prec = Precision.FP32 if prec is Precision.FP16 else prec
+        t_lr = task_time(
+            TaskShape("gemm", b, lr_prec, low_rank=True, ranks=(rank, rank, rank)),
+            machine,
+        )
+        t_dense = task_time(TaskShape("gemm", b, prec), machine)
+        out[(i, j)] = t_lr < t_dense
+    return out
+
+
+def plan_summary(plan: TilePlan) -> dict[str, float]:
+    """Aggregate statistics of a plan: class counts, planned memory
+    footprint vs the dense-FP64 baseline (the Fig. 9 "MF" numbers),
+    assuming planned ranks stored in ``plan.meta['ranks']`` for LR
+    tiles (falls back to half the crossover-free tile)."""
+    layout = plan.layout
+    b = layout.tile_size
+    ranks: dict[tuple[int, int], int] = plan.meta.get("ranks", {})
+    planned = 0.0
+    baseline = 0.0
+    for i, j in layout.lower_tiles():
+        m, n = layout.tile_shape(i, j)
+        baseline += 8.0 * m * n
+        p = plan.precisions[(i, j)]
+        if plan.use_lr[(i, j)]:
+            rank = ranks.get((i, j), b // 2)
+            planned += p.itemsize * rank * (m + n)
+        else:
+            planned += p.itemsize * m * n
+    counts = plan.counts()
+    out: dict[str, float] = {f"count[{k}]": float(v) for k, v in counts.items()}
+    out["bytes_planned"] = planned
+    out["bytes_dense_fp64"] = baseline
+    out["memory_reduction"] = 1.0 - planned / baseline if baseline else 0.0
+    out["band_size_dense"] = float(plan.band_size_dense)
+    return out

@@ -1,0 +1,229 @@
+"""Numerical tile kernels: POTRF, TRSM, SYRK, GEMM.
+
+These are the four kernels of Algorithm 1, each accepting dense or
+low-rank operands in any storage precision.  Precision semantics follow
+the paper's "precision-lead operand" convention: the kernel computes in
+the arithmetic dtype derived from the *output* tile's storage precision
+(:func:`repro.tile.precision.compute_dtype`), converting the other
+operands on the fly — exactly what PaRSEC does with its on-demand data
+conversions.  FP16-lead kernels accumulate in FP32 (emulated SHGEMM)
+unless the caller asks for pure HGEMM.
+
+Low-rank arithmetic (factor updates, recompression) always runs in
+float64; its *storage* honors the tile's precision.  That mirrors the
+implementation reality that compression kernels are FP64/FP32 only
+(Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from ..exceptions import CompressionError, NotPositiveDefiniteError, ShapeError
+from .compression import lr_add, truncated_svd
+from .precision import Precision, compute_dtype
+from .tile import DenseTile, LowRankTile, Tile
+
+__all__ = ["potrf", "trsm", "syrk", "gemm"]
+
+
+def _as_compute(tile_data: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Cast operand data to the kernel's compute dtype (a no-op when
+    it already matches)."""
+    if tile_data.dtype == dtype:
+        return tile_data
+    return tile_data.astype(dtype)
+
+
+_HGEMM_BLOCK = 8
+
+
+def _matmul_emulated(a: np.ndarray, b: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``a @ b`` with accumulation emulated at ``dtype``.
+
+    NumPy silently promotes float16 matrix products to float32
+    accumulation (it routes through SGEMM), so a *pure HGEMM* — the
+    mode the paper deems numerically insufficient — must be emulated:
+    operands are rounded to binary16 and the running sum is rounded
+    back to binary16 every ``_HGEMM_BLOCK`` rank-1 updates, modeling
+    the per-FMA rounding of genuine half-precision accumulators.
+    """
+    if dtype != np.float16:
+        return _as_compute(a, dtype) @ _as_compute(b, dtype)
+    a16 = a.astype(np.float16)
+    b16 = b.astype(np.float16)
+    k = a16.shape[1]
+    acc = np.zeros((a16.shape[0], b16.shape[1]), dtype=np.float16)
+    for start in range(0, k, _HGEMM_BLOCK):
+        stop = min(start + _HGEMM_BLOCK, k)
+        partial = (
+            a16[:, start:stop].astype(np.float32)
+            @ b16[start:stop, :].astype(np.float32)
+        ).astype(np.float16)
+        acc = (acc.astype(np.float32) + partial.astype(np.float32)).astype(
+            np.float16
+        )
+    return acc
+
+
+def potrf(c: Tile, index: tuple[int, int] | None = None) -> DenseTile:
+    """Cholesky of a diagonal tile: ``C -> L`` with ``C = L L^T``.
+
+    The tile must be dense (diagonal tiles always are); computation in
+    the tile's compute dtype, at least FP32.
+    """
+    if c.is_low_rank:
+        raise ShapeError("POTRF requires a dense diagonal tile")
+    dtype = compute_dtype(c.precision)
+    data = _as_compute(c.to_dense64(), dtype)
+    try:
+        low = np.linalg.cholesky(data)
+    except np.linalg.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            f"diagonal tile {index} is not positive definite: {exc}", index
+        ) from exc
+    return DenseTile(np.asarray(low, dtype=np.float64), c.precision)
+
+
+def trsm(
+    l_tile: DenseTile,
+    a: Tile,
+    *,
+    fp16_accumulate_fp32: bool = True,
+) -> Tile:
+    """Triangular solve ``A <- A @ L^{-T}`` with ``L`` lower triangular.
+
+    Dense ``A``: direct solve.  Low-rank ``A = U V^T``: only the ``V``
+    factor is touched (``A L^{-T} = U (L^{-1} V)^T``), which is the
+    rank-wise TLR TRSM of HiCMA.
+    """
+    if l_tile.is_low_rank:
+        raise ShapeError("the TRSM triangle must be dense")
+    if isinstance(a, LowRankTile):
+        if a.rank == 0:
+            return a
+        low = l_tile.to_dense64()
+        v = sla.solve_triangular(
+            low, a.v.astype(np.float64), lower=True, check_finite=False
+        )
+        return LowRankTile(a.u.astype(np.float64), v, a.precision)
+    dtype = compute_dtype(a.precision, fp16_accumulate_fp32=fp16_accumulate_fp32)
+    low = _as_compute(l_tile.to_dense64(), dtype)
+    rhs = _as_compute(a.to_dense64(), dtype)
+    x = sla.solve_triangular(low, rhs.T, lower=True, check_finite=False).T
+    return DenseTile(np.asarray(x, dtype=np.float64), a.precision)
+
+
+def syrk(
+    a: Tile,
+    c: DenseTile,
+    *,
+    fp16_accumulate_fp32: bool = True,
+) -> DenseTile:
+    """Symmetric rank-k update of a diagonal tile: ``C <- C - A A^T``."""
+    if c.is_low_rank:
+        raise ShapeError("SYRK output (diagonal tile) must be dense")
+    dtype = compute_dtype(c.precision, fp16_accumulate_fp32=fp16_accumulate_fp32)
+    cdat = _as_compute(c.to_dense64(), dtype)
+    if isinstance(a, LowRankTile):
+        if a.rank == 0:
+            return c
+        u = _as_compute(a.u.astype(np.float64), dtype)
+        v = _as_compute(a.v.astype(np.float64), dtype)
+        w = v.T @ v
+        update = (u @ w) @ u.T
+    else:
+        adat = _as_compute(a.to_dense64(), dtype)
+        update = adat @ adat.T
+    out = cdat - update
+    return DenseTile(np.asarray(out, dtype=np.float64), c.precision)
+
+
+def _lr_update_factors(a: Tile, b: Tile) -> tuple[np.ndarray, np.ndarray]:
+    """Factors ``(du, dv)`` with ``A @ B^T = du @ dv^T`` in float64,
+    for the cases where at least one operand is low-rank."""
+    if isinstance(a, LowRankTile) and isinstance(b, LowRankTile):
+        ua, va = a.u.astype(np.float64), a.v.astype(np.float64)
+        ub, vb = b.u.astype(np.float64), b.v.astype(np.float64)
+        if a.rank == 0 or b.rank == 0:
+            m, n = a.shape[0], b.shape[0]
+            return np.zeros((m, 0)), np.zeros((n, 0))
+        core = va.T @ vb  # (ra, rb)
+        if a.rank <= b.rank:
+            return ua, ub @ core.T
+        return ua @ core, ub
+    if isinstance(a, LowRankTile):
+        if a.rank == 0:
+            return (
+                np.zeros((a.shape[0], 0)),
+                np.zeros((b.shape[0], 0)),
+            )
+        bdat = b.to_dense64()
+        return a.u.astype(np.float64), bdat @ a.v.astype(np.float64)
+    if isinstance(b, LowRankTile):
+        if b.rank == 0:
+            return (
+                np.zeros((a.shape[0], 0)),
+                np.zeros((b.shape[0], 0)),
+            )
+        adat = a.to_dense64()
+        return adat @ b.v.astype(np.float64), b.u.astype(np.float64)
+    raise ShapeError("at least one operand must be low-rank")  # pragma: no cover
+
+
+def gemm(
+    a: Tile,
+    b: Tile,
+    c: Tile,
+    *,
+    tol: float = 0.0,
+    max_rank: int | None = None,
+    fp16_accumulate_fp32: bool = True,
+    allow_densify: bool = True,
+) -> Tile:
+    """Schur-complement update ``C <- C - A @ B^T``.
+
+    Handles every structure combination.  A low-rank ``C`` is updated
+    by low-rank addition + recompression at the absolute tolerance
+    ``tol`` (the tile-level TLR threshold); if recompression would
+    exceed ``max_rank`` and ``allow_densify`` is set, the tile falls
+    back to dense — the runtime analogue of the structure-aware
+    "convert back to dense" decision.
+    """
+    both_dense = not (a.is_low_rank or b.is_low_rank)
+
+    if not c.is_low_rank:
+        dtype = compute_dtype(c.precision, fp16_accumulate_fp32=fp16_accumulate_fp32)
+        cdat = _as_compute(c.to_dense64(), dtype)
+        if both_dense:
+            update = _matmul_emulated(a.to_dense64(), b.to_dense64().T, dtype)
+        else:
+            du, dv = _lr_update_factors(a, b)
+            update = _as_compute(du, dtype) @ _as_compute(dv, dtype).T
+        out = cdat - update
+        return DenseTile(np.asarray(out, dtype=np.float64), c.precision)
+
+    # Low-rank C.
+    assert isinstance(c, LowRankTile)
+    if both_dense:
+        dense_update = a.to_dense64() @ b.to_dense64().T
+        try:
+            du, dv, _ = truncated_svd(dense_update, tol, max_rank)
+        except CompressionError:
+            if not allow_densify:
+                raise
+            out = c.to_dense64() - dense_update
+            return DenseTile(out, c.precision)
+    else:
+        du, dv = _lr_update_factors(a, b)
+    cu = c.u.astype(np.float64)
+    cv = c.v.astype(np.float64)
+    try:
+        nu, nv = lr_add(cu, cv, -du, dv, tol, max_rank)
+    except CompressionError:
+        if not allow_densify:
+            raise
+        out = c.to_dense64() - du @ dv.T
+        return DenseTile(out, c.precision)
+    return LowRankTile(nu, nv, c.precision)

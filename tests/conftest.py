@@ -1,0 +1,64 @@
+"""Shared fixtures: small, fast, deterministic datasets and matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import GneitingMaternKernel, MaternKernel
+from repro.ordering import order_points
+from repro.tile import TileMatrix, build_planned_covariance
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def locations_200():
+    """200 Morton-ordered uniform 2-D locations."""
+    gen = np.random.default_rng(777)
+    x = gen.uniform(size=(200, 2))
+    return x[order_points(x, "morton")]
+
+
+@pytest.fixture(scope="session")
+def matern():
+    return MaternKernel()
+
+
+@pytest.fixture(scope="session")
+def gneiting():
+    return GneitingMaternKernel()
+
+
+@pytest.fixture(scope="session")
+def theta_matern():
+    return np.array([1.0, 0.1, 0.5])
+
+
+@pytest.fixture(scope="session")
+def spd_dense_200(matern, theta_matern, locations_200):
+    """A dense SPD covariance matrix and its observations vector."""
+    sigma = matern.covariance_matrix(theta_matern, locations_200, nugget=1e-8)
+    gen = np.random.default_rng(3)
+    z = np.linalg.cholesky(sigma) @ gen.standard_normal(200)
+    return sigma, z
+
+
+@pytest.fixture
+def tiled_cov_200(matern, theta_matern, locations_200):
+    """Freshly assembled dense-FP64 tile covariance (tile size 40)."""
+    mat, report = build_planned_covariance(
+        matern, theta_matern, locations_200, 40, nugget=1e-8
+    )
+    return mat, report
+
+
+def random_spd_tilematrix(n: int, tile_size: int, seed: int = 0) -> TileMatrix:
+    """Well-conditioned random SPD matrix in tile form."""
+    gen = np.random.default_rng(seed)
+    a = gen.standard_normal((n, n))
+    spd = a @ a.T / n + np.eye(n)
+    return TileMatrix.from_dense(spd, tile_size)

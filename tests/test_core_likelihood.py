@@ -1,0 +1,110 @@
+"""Tests for the Gaussian log-likelihood (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import loglikelihood, loglikelihood_dense_reference
+from repro.exceptions import ShapeError
+
+
+@pytest.fixture(scope="module")
+def observations(matern, theta_matern, locations_200):
+    sigma = matern.covariance_matrix(theta_matern, locations_200, nugget=1e-8)
+    gen = np.random.default_rng(17)
+    z = np.linalg.cholesky(sigma) @ gen.standard_normal(200)
+    return z
+
+
+class TestAgainstReference:
+    def test_dense_fp64_matches_numpy(
+        self, matern, theta_matern, locations_200, observations
+    ):
+        tiled = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, variant="dense-fp64", nugget=1e-8,
+        )
+        ref = loglikelihood_dense_reference(
+            matern, theta_matern, locations_200, observations, nugget=1e-8
+        )
+        assert tiled.value == pytest.approx(ref, abs=1e-6)
+
+    def test_mp_dense_close(self, matern, theta_matern, locations_200, observations):
+        tiled = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, variant="mp-dense", nugget=1e-8,
+        )
+        ref = loglikelihood_dense_reference(
+            matern, theta_matern, locations_200, observations, nugget=1e-8
+        )
+        assert tiled.value == pytest.approx(ref, abs=0.05)
+
+    def test_mp_tlr_close(self, matern, theta_matern, locations_200, observations):
+        tiled = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, variant="mp-dense-tlr", nugget=1e-8,
+        )
+        ref = loglikelihood_dense_reference(
+            matern, theta_matern, locations_200, observations, nugget=1e-8
+        )
+        assert tiled.value == pytest.approx(ref, abs=0.05)
+
+
+class TestResultPieces:
+    def test_decomposition_consistent(
+        self, matern, theta_matern, locations_200, observations
+    ):
+        res = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, nugget=1e-8,
+        )
+        n = 200
+        reassembled = (
+            -0.5 * n * np.log(2 * np.pi) - 0.5 * res.logdet - 0.5 * res.quadratic
+        )
+        assert res.value == pytest.approx(reassembled)
+        assert res.n == n
+
+    def test_quadratic_positive(
+        self, matern, theta_matern, locations_200, observations
+    ):
+        res = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, nugget=1e-8,
+        )
+        assert res.quadratic > 0
+
+    def test_factor_reusable(self, matern, theta_matern, locations_200, observations):
+        from repro.tile import forward_solve
+
+        res = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, nugget=1e-8,
+        )
+        y = forward_solve(res.factor, observations)
+        assert float(y @ y) == pytest.approx(res.quadratic, rel=1e-10)
+
+    def test_true_theta_beats_far_theta(
+        self, matern, theta_matern, locations_200, observations
+    ):
+        at_truth = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, nugget=1e-8,
+        )
+        far = loglikelihood(
+            matern, np.array([5.0, 0.9, 2.0]), locations_200, observations,
+            tile_size=40, nugget=1e-8,
+        )
+        assert at_truth.value > far.value
+
+    def test_length_mismatch(self, matern, theta_matern, locations_200):
+        with pytest.raises(ShapeError):
+            loglikelihood(
+                matern, theta_matern, locations_200, np.zeros(7), tile_size=40
+            )
+
+    def test_variant_recorded(self, matern, theta_matern, locations_200, observations):
+        res = loglikelihood(
+            matern, theta_matern, locations_200, observations,
+            tile_size=40, variant="mp-dense", nugget=1e-8,
+        )
+        assert res.variant == "mp-dense"

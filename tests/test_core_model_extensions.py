@@ -1,0 +1,56 @@
+"""Tests for the model-level UQ and simulation API."""
+
+import numpy as np
+import pytest
+
+from repro import ExaGeoStatModel
+from repro.data import soil_moisture_surrogate
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    data = soil_moisture_surrogate(n_train=260, n_test=40, seed=606)
+    model = ExaGeoStatModel(kernel="matern", variant="mp-dense-tlr",
+                            tile_size=52)
+    model.fit(data.x_train, data.z_train,
+              theta0=data.theta_true, max_iter=60)
+    return data, model
+
+
+class TestModelUncertainty:
+    def test_uncertainty_summary(self, fitted_model):
+        _, model = fitted_model
+        uq = model.uncertainty()
+        assert uq.param_names == ("variance", "range", "smoothness")
+        assert np.all(uq.standard_errors > 0)
+        for k in range(3):
+            assert uq.lower[k] < model.theta_[k] < uq.upper[k]
+
+    def test_level_widens_interval(self, fitted_model):
+        _, model = fitted_model
+        narrow = model.uncertainty(level=0.5)
+        wide = model.uncertainty(level=0.99)
+        assert np.all(wide.upper - wide.lower > narrow.upper - narrow.lower)
+
+
+class TestModelSimulate:
+    def test_draws_shape(self, fitted_model):
+        data, model = fitted_model
+        draws = model.simulate(data.x_test, size=7, seed=1)
+        assert draws.shape == (7, 40)
+
+    def test_draws_consistent_with_predict(self, fitted_model):
+        data, model = fitted_model
+        pred = model.predict(data.x_test, return_uncertainty=True)
+        draws = model.simulate(data.x_test, size=300, seed=2)
+        np.testing.assert_allclose(
+            draws.mean(axis=0), pred.mean,
+            atol=4 * pred.standard_error().max() / np.sqrt(300) * 3 + 0.05,
+        )
+
+    def test_requires_fit(self):
+        from repro.exceptions import ReproError
+
+        model = ExaGeoStatModel()
+        with pytest.raises(ReproError):
+            model.simulate(np.zeros((2, 2)))

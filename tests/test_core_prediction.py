@@ -1,0 +1,135 @@
+"""Tests for kriging prediction and uncertainty (Eqs. 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import kriging_predict, loglikelihood
+from repro.exceptions import ShapeError
+
+
+@pytest.fixture(scope="module")
+def fitted_factor(matern, theta_matern):
+    from repro.data import sample_gaussian_field
+    from repro.ordering import order_points
+
+    gen = np.random.default_rng(31)
+    x = gen.uniform(size=(260, 2))
+    x = x[order_points(x, "morton")]
+    z = sample_gaussian_field(
+        matern, theta_matern, x, seed=5, jitter=1e-10
+    )
+    # Random holdout (a contiguous Morton-tail split would cluster all
+    # test points in one corner without nearby training data).
+    test_idx = np.sort(gen.permutation(260)[:40])
+    train_mask = np.ones(260, dtype=bool)
+    train_mask[test_idx] = False
+    x_train, x_test = x[train_mask], x[test_idx]
+    z_train, z_test = z[train_mask], z[test_idx]
+    res = loglikelihood(
+        matern, theta_matern, x_train, z_train, tile_size=40, nugget=1e-10
+    )
+    return x_train, z_train, x_test, z_test, res.factor
+
+
+class TestPrediction:
+    def test_matches_dense_reference(self, matern, theta_matern, fitted_factor):
+        x_train, z_train, x_test, _, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor
+        )
+        sigma = matern.covariance_matrix(theta_matern, x_train, nugget=1e-10)
+        cross = matern(theta_matern, x_train, x_test)
+        ref = cross.T @ np.linalg.solve(sigma, z_train)
+        np.testing.assert_allclose(pred.mean, ref, atol=1e-7)
+
+    def test_better_than_trivial_predictor(
+        self, matern, theta_matern, fitted_factor
+    ):
+        x_train, z_train, x_test, z_test, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor
+        )
+        mspe = np.mean((pred.mean - z_test) ** 2)
+        trivial = np.mean(z_test**2)  # predicting the zero mean
+        assert mspe < trivial
+
+    def test_interpolates_training_points(self, matern, theta_matern, fitted_factor):
+        """Without a nugget, kriging at a training location returns the
+        observed value."""
+        x_train, z_train, _, _, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_train[:10], factor
+        )
+        np.testing.assert_allclose(pred.mean, z_train[:10], atol=1e-4)
+
+    def test_batching_invariance(self, matern, theta_matern, fitted_factor):
+        x_train, z_train, x_test, _, factor = fitted_factor
+        p1 = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor, batch=7
+        )
+        p2 = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor, batch=4096
+        )
+        np.testing.assert_allclose(p1.mean, p2.mean, atol=1e-12)
+
+    def test_shape_checks(self, matern, theta_matern, fitted_factor):
+        x_train, z_train, x_test, _, factor = fitted_factor
+        with pytest.raises(ShapeError):
+            kriging_predict(
+                matern, theta_matern, x_train, z_train[:5], x_test, factor
+            )
+
+
+class TestUncertainty:
+    def test_matches_dense_reference(self, matern, theta_matern, fitted_factor):
+        x_train, z_train, x_test, _, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor,
+            return_uncertainty=True,
+        )
+        sigma = matern.covariance_matrix(theta_matern, x_train, nugget=1e-10)
+        cross = matern(theta_matern, x_train, x_test)
+        ref = theta_matern[0] - np.einsum(
+            "ij,ij->j", cross, np.linalg.solve(sigma, cross)
+        )
+        np.testing.assert_allclose(pred.variance, ref, atol=1e-7)
+
+    def test_variance_bounds(self, matern, theta_matern, fitted_factor):
+        x_train, z_train, x_test, _, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor,
+            return_uncertainty=True,
+        )
+        assert np.all(pred.variance >= -1e-9)
+        assert np.all(pred.variance <= theta_matern[0] + 1e-9)
+
+    def test_zero_at_training_points(self, matern, theta_matern, fitted_factor):
+        x_train, z_train, _, _, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_train[:5], factor,
+            return_uncertainty=True,
+        )
+        np.testing.assert_allclose(pred.variance, 0.0, atol=1e-5)
+
+    def test_standard_error_requires_uncertainty(
+        self, matern, theta_matern, fitted_factor
+    ):
+        x_train, z_train, x_test, _, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor
+        )
+        with pytest.raises(ShapeError):
+            pred.standard_error()
+
+    def test_coverage_calibrated(self, matern, theta_matern, fitted_factor):
+        """95% Gaussian intervals from Eq. (5) must cover roughly 95%
+        of held-out truths."""
+        from repro.stats import interval_coverage
+
+        x_train, z_train, x_test, z_test, factor = fitted_factor
+        pred = kriging_predict(
+            matern, theta_matern, x_train, z_train, x_test, factor,
+            return_uncertainty=True,
+        )
+        cov = interval_coverage(pred.mean, pred.standard_error(), z_test)
+        assert 0.8 <= cov <= 1.0

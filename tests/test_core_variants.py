@@ -1,0 +1,70 @@
+"""Tests for compute-variant configuration."""
+
+import pytest
+
+from repro.core import DENSE_FP64, MP_DENSE, MP_DENSE_TLR, VariantConfig, get_variant
+from repro.exceptions import ConfigurationError
+
+
+class TestPresets:
+    def test_dense_reference(self):
+        assert not DENSE_FP64.use_mp
+        assert not DENSE_FP64.use_tlr
+
+    def test_mp_dense(self):
+        assert MP_DENSE.use_mp and not MP_DENSE.use_tlr
+
+    def test_mp_dense_tlr(self):
+        assert MP_DENSE_TLR.use_mp and MP_DENSE_TLR.use_tlr
+
+    def test_default_accuracy_1e8(self):
+        """Both adaptive knobs default to the paper's 1e-8 tolerance."""
+        assert MP_DENSE_TLR.mp_accuracy == 1e-8
+        assert MP_DENSE_TLR.tlr_tol == 1e-8
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_variant("dense-fp64") is DENSE_FP64
+        assert get_variant("mp-dense") is MP_DENSE
+
+    def test_aliases(self):
+        assert get_variant("tlr") is MP_DENSE_TLR
+        assert get_variant("FP64") is DENSE_FP64
+        assert get_variant("mp_dense_tlr") is MP_DENSE_TLR
+
+    def test_config_passthrough(self):
+        assert get_variant(MP_DENSE) is MP_DENSE
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_variant("quantum")
+
+
+class TestValidation:
+    def test_bad_mp_mode(self):
+        with pytest.raises(ConfigurationError):
+            VariantConfig(name="x", mp_mode="chaotic")
+
+    def test_bad_structure_mode(self):
+        with pytest.raises(ConfigurationError):
+            VariantConfig(name="x", structure_mode="vibes")
+
+    def test_hgemm_requires_explicit_mode(self):
+        with pytest.raises(ConfigurationError):
+            VariantConfig(name="x", fp16_accumulate_fp32=False)
+        VariantConfig(
+            name="x", fp16_accumulate_fp32=False, shgemm_mode="hgemm"
+        )
+
+    def test_with_derives(self):
+        derived = MP_DENSE_TLR.with_(band_size=5, name="wide-band")
+        assert derived.band_size == 5
+        assert derived.use_tlr
+        assert MP_DENSE_TLR.band_size == 2  # original untouched
+
+    def test_assembly_kwargs_complete(self):
+        kwargs = MP_DENSE_TLR.assembly_kwargs()
+        assert kwargs["use_mp"] and kwargs["use_tlr"]
+        assert kwargs["structure_mode"] == "rank"
+        assert "machine" in kwargs

@@ -1,0 +1,82 @@
+"""Tests for the programmatic experiment drivers (tiny sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    measure_profile,
+    measure_spacetime_profile,
+    run_fig6,
+    run_space_scaling,
+    run_spacetime_scaling,
+    run_table1,
+    run_table2,
+)
+
+
+class TestAccuracyDrivers:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(n_train=220, n_test=30, tile_size=44, max_iter=30)
+
+    def test_table1_variants_agree(self, table1):
+        assert len(table1.rows) == 3
+        assert table1.max_theta_spread() < 0.25
+
+    def test_table1_table_renders(self, table1):
+        text = table1.table()
+        assert "dense-fp64" in text and "Smoothness" in text
+
+    def test_table1_mspe_fields(self, table1):
+        for row in table1.rows:
+            assert np.isfinite(row.mspe) and row.mspe > 0
+
+    def test_table2_runs_small(self):
+        study = run_table2(n_space=30, n_slots=5, n_test=30, tile_size=30,
+                           max_iter=15)
+        assert len(study.rows) == 3
+        assert study.max_theta_spread() < 0.5
+        assert "Nonsep-param" in study.table()
+
+    def test_fig6_structure(self):
+        study = run_fig6(reps=2, n=100, tile_size=25, max_iter=10,
+                         correlations=("medium",),
+                         variants=("dense-fp64",))
+        rows = study.summary_rows()
+        assert len(rows) == 3  # one correlation x one variant x 3 params
+        assert "Fig. 6" in study.table()
+
+
+class TestScalingDrivers:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return measure_profile(0.03, n=600, tile_size=50, label="weak")
+
+    def test_profile_label(self, profile):
+        assert profile.label == "weak"
+
+    def test_space_scaling_speedups(self, profile):
+        study = run_space_scaling(
+            profile, matrix_n=2_000_000, node_counts=(1024, 4096),
+        )
+        assert study.speedup(1024) > 2.0
+        assert "speedup" in study.table()
+
+    def test_spacetime_scaling_shape(self):
+        from repro.data import ET_THETA
+
+        profile = measure_spacetime_profile(
+            ET_THETA, n_space=120, n_slots=6, tile_size=48
+        )
+        study = run_spacetime_scaling(
+            profile, matrix_n=4_000_000, node_counts=(2048, 16384),
+        )
+        # Strong-scaling limit: relative TLR advantage shrinks with
+        # node count (Fig. 11).
+        assert study.speedup(16384) <= study.speedup(2048) * 1.05
+
+    def test_dense_estimates_scale(self, profile):
+        study = run_space_scaling(
+            profile, matrix_n=2_000_000, node_counts=(1024, 4096),
+        )
+        assert study.dense[4096].time_s < study.dense[1024].time_s

@@ -1,0 +1,50 @@
+"""Tests for the fig5/fig9 experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig5, run_fig9
+
+
+class TestRunFig5:
+    def test_crossover_consistent(self):
+        study = run_fig5(800)
+        assert study.crossover == pytest.approx(59, abs=5)
+        # Times below the crossover favor TLR, above favor dense.
+        below = study.ranks < study.crossover
+        assert np.all(study.tlr_times[below] < study.dense_times[below])
+        above = study.ranks > study.crossover
+        assert np.all(study.tlr_times[above] >= study.dense_times[above])
+
+    def test_table_renders(self):
+        text = run_fig5(400).table()
+        assert "crossover rank" in text
+
+    def test_custom_ranks(self):
+        ranks = np.array([10, 20, 40])
+        study = run_fig5(800, ranks=ranks)
+        assert study.ranks.shape == (3,)
+
+
+class TestRunFig9:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_fig9(0.03, n=600, tile_size=50)
+
+    def test_reduction_band(self, study):
+        assert 0.3 < study.reduction < 0.99
+
+    def test_ascii_map_dimensions(self, study):
+        lines = study.ascii_map().splitlines()
+        assert len(lines) == study.plan.nt
+        assert len(lines[0]) == study.plan.nt
+
+    def test_diagonal_dense_fp64(self, study):
+        lines = study.ascii_map().splitlines()
+        for i, line in enumerate(lines):
+            assert line[i] == "8"
+
+    def test_weak_compresses_more_than_strong(self):
+        weak = run_fig9(0.03, n=600, tile_size=50)
+        strong = run_fig9(0.3, n=600, tile_size=50)
+        assert weak.reduction >= strong.reduction * 0.95

@@ -1,0 +1,152 @@
+"""Failure-injection tests: the stack must fail loudly and precisely,
+never silently corrupt results."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    NotPositiveDefiniteError,
+    ParameterError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+)
+from repro.kernels import MaternKernel
+from repro.tile import TileMatrix, tile_cholesky
+
+
+class TestBadInputsKernels:
+    def test_nan_locations(self, matern, theta_matern):
+        with pytest.raises(ShapeError):
+            matern(theta_matern, np.array([[0.0, np.nan]]))
+
+    def test_inf_theta(self, matern, locations_200):
+        with pytest.raises(ParameterError):
+            matern(np.array([np.inf, 0.1, 0.5]), locations_200[:5])
+
+    def test_nan_theta(self, matern, locations_200):
+        with pytest.raises(ParameterError):
+            matern(np.array([np.nan, 0.1, 0.5]), locations_200[:5])
+
+    def test_zero_range(self, matern, locations_200):
+        with pytest.raises(ParameterError):
+            matern(np.array([1.0, 0.0, 0.5]), locations_200[:5])
+
+
+class TestIndefiniteMatrices:
+    def test_cholesky_reports_failing_tile(self):
+        a = np.diag([1.0, 1.0, 1.0, -5.0, 1.0, 1.0])
+        tm = TileMatrix.from_dense(a, 2)
+        with pytest.raises(NotPositiveDefiniteError) as exc:
+            tile_cholesky(tm)
+        assert exc.value.tile_index == (1, 1)
+
+    def test_duplicate_locations_fail_gracefully(self, matern, theta_matern):
+        """Exact duplicates without a nugget make Sigma singular; the
+        pipeline must raise, not return garbage."""
+        from repro.core import loglikelihood
+
+        x = np.vstack([np.full((2, 2), 0.5), np.random.default_rng(0).uniform(size=(30, 2))])
+        z = np.zeros(32)
+        with pytest.raises((NotPositiveDefiniteError, ReproError)):
+            loglikelihood(matern, theta_matern, x, z, tile_size=8)
+
+    def test_mle_survives_indefinite_regions(self, rng):
+        """The optimizer treats indefinite trial points as rejected
+        steps and still returns a result."""
+        from repro.core import fit_mle
+        from repro.data import sample_gaussian_field
+
+        kern = MaternKernel()
+        x = rng.uniform(size=(80, 2))
+        theta = np.array([1.0, 0.1, 0.5])
+        z = sample_gaussian_field(kern, theta, x, seed=1)
+        res = fit_mle(kern, x, z, tile_size=20, theta0=theta, max_iter=20)
+        assert np.isfinite(res.loglik)
+
+
+class TestBadObservations:
+    def test_nan_observations_poison_loglik(self, matern, theta_matern, locations_200):
+        """NaN data must surface as a non-finite likelihood, not a
+        silent number."""
+        from repro.core import loglikelihood
+
+        z = np.zeros(200)
+        z[7] = np.nan
+        res = loglikelihood(
+            matern, theta_matern, locations_200, z, tile_size=40, nugget=1e-8
+        )
+        assert not np.isfinite(res.value)
+
+    def test_wrong_length(self, matern, theta_matern, locations_200):
+        from repro.core import loglikelihood
+
+        with pytest.raises(ShapeError):
+            loglikelihood(matern, theta_matern, locations_200, np.zeros(100),
+                          tile_size=40)
+
+
+class TestRuntimeMisuse:
+    def test_simulator_rejects_cyclic_input(self):
+        """A corrupted DAG (cycle) must be detected."""
+        import networkx as nx
+
+        from repro.runtime import SimConfig, Task, simulate_tasks
+        from repro.tile import TileLayout
+        from repro.tile.decisions import TilePlan
+        from repro.tile.precision import Precision
+
+        layout = TileLayout(64, 32)
+        plan = TilePlan(
+            layout,
+            {k: Precision.FP64 for k in layout.lower_tiles()},
+            {k: False for k in layout.lower_tiles()},
+        )
+        tasks = [
+            Task(0, "potrf", 0, output=(0, 0)),
+            Task(1, "trsm", 0, output=(1, 0), inputs=((0, 0),)),
+        ]
+        dag = nx.DiGraph()
+        dag.add_node(0, task=tasks[0])
+        dag.add_node(1, task=tasks[1])
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 0)  # cycle
+        with pytest.raises(SchedulingError):
+            simulate_tasks(tasks, layout, plan, SimConfig(nodes=1), dag=dag)
+
+    def test_engine_rejects_misordered_stream(self, matern, theta_matern, locations_200):
+        """Executing GEMM before its panel's TRSM corrupts dataflow;
+        the engine trusts the stream, so the *dag builder* is the
+        guard — verify the misordered stream fails dependence checks."""
+        from repro.runtime import build_dag, cholesky_tasks, validate_schedule
+
+        tasks = list(cholesky_tasks(3))
+        dag = build_dag(tasks)
+        # Everything starts at 0 with unit durations: every edge with a
+        # real predecessor duration is violated.
+        start = {t.uid: 0.0 for t in tasks}
+        end = {t.uid: 1.0 for t in tasks}
+        with pytest.raises(SchedulingError):
+            validate_schedule(dag, start, end)
+
+
+class TestConfigMisuse:
+    def test_variant_with_bad_band(self, matern, theta_matern, locations_200):
+        from repro.exceptions import ConfigurationError
+        from repro.tile import build_planned_covariance
+
+        with pytest.raises(ConfigurationError):
+            build_planned_covariance(
+                matern, theta_matern, locations_200, 40,
+                use_tlr=True, band_size=-3,
+            )
+
+    def test_model_rejects_wrong_dim_predictions(self):
+        from repro import ExaGeoStatModel
+        from repro.data import soil_moisture_surrogate
+
+        data = soil_moisture_surrogate(n_train=120, n_test=20, seed=5)
+        model = ExaGeoStatModel(tile_size=30)
+        model.set_params(data.theta_true, data.x_train, data.z_train)
+        with pytest.raises(ShapeError):
+            model.predict(np.zeros((5, 3)))

@@ -1,0 +1,138 @@
+"""Cross-cutting invariants: conservation laws the system must obey
+regardless of configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import A64FX, PlanProfile, estimate_cholesky, project_classes
+from repro.runtime import SimConfig, cholesky_tasks, plan_wire_bytes, simulate_tasks
+from repro.tile import Precision, TileLayout
+from repro.tile.decisions import TilePlan
+
+
+def make_plan(nt, tile_size, *, lr_offsets=(), precisions=None):
+    layout = TileLayout(nt * tile_size, tile_size)
+    prec = {}
+    lr = {}
+    ranks = {}
+    for i, j in layout.lower_tiles():
+        off = i - j
+        prec[(i, j)] = (
+            precisions.get(off, Precision.FP64) if precisions else Precision.FP64
+        )
+        lr[(i, j)] = off in lr_offsets
+        if lr[(i, j)]:
+            ranks[(i, j)] = max(2, tile_size // 8)
+    return TilePlan(layout, prec, lr, meta={"ranks": ranks})
+
+
+class TestSimulatorConservation:
+    @given(nodes=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=4, deadline=None)
+    def test_total_flops_independent_of_nodes(self, nodes):
+        """Work is conserved: the modeled flop total must not depend on
+        the machine partition."""
+        plan = make_plan(6, 32, lr_offsets=(3, 4, 5))
+        tasks = list(cholesky_tasks(6))
+        trace = simulate_tasks(
+            tasks, plan.layout, plan, SimConfig(nodes=nodes)
+        )
+        reference = simulate_tasks(
+            tasks, plan.layout, plan, SimConfig(nodes=1)
+        )
+        assert trace.total_flops == pytest.approx(reference.total_flops)
+
+    def test_task_count_conserved(self):
+        plan = make_plan(5, 32)
+        tasks = list(cholesky_tasks(5))
+        for nodes in (1, 3):
+            trace = simulate_tasks(
+                tasks, plan.layout, plan, SimConfig(nodes=nodes)
+            )
+            assert len(trace.records) == len(tasks)
+
+    def test_busy_time_equals_sum_durations(self):
+        plan = make_plan(5, 32)
+        tasks = list(cholesky_tasks(5))
+        trace = simulate_tasks(tasks, plan.layout, plan, SimConfig(nodes=2))
+        busy = sum(trace.busy_time_by_node().values())
+        assert busy == pytest.approx(sum(r.duration for r in trace.records))
+
+
+class TestWireBytesInvariants:
+    def test_never_exceeds_dense_fp64(self):
+        plan = make_plan(
+            6, 32, lr_offsets=(2, 3, 4, 5),
+            precisions={0: Precision.FP64, 1: Precision.FP32,
+                        2: Precision.FP32, 3: Precision.FP16,
+                        4: Precision.FP16, 5: Precision.FP16},
+        )
+        for key in plan.layout.lower_tiles():
+            dense64 = 8 * plan.layout.tile_shape(*key)[0] * (
+                plan.layout.tile_shape(*key)[1]
+            )
+            assert plan_wire_bytes(plan, key) <= dense64
+
+    def test_lr_bytes_scale_with_rank(self):
+        layout = TileLayout(128, 32)
+        base = make_plan(4, 32, lr_offsets=(2, 3))
+        small = plan_wire_bytes(base, (3, 0))
+        base.meta["ranks"][(3, 0)] *= 2
+        assert plan_wire_bytes(base, (3, 0)) == 2 * small
+
+
+class TestProjectionInvariants:
+    @given(nt=st.sampled_from([10, 50, 333]))
+    @settings(max_examples=3, deadline=None)
+    def test_fractions_normalized_after_projection(self, nt):
+        profile = PlanProfile.dense_fp64()
+        fr, ranks = project_classes(profile, nt, 800, A64FX, band_size=2)
+        np.testing.assert_allclose(fr.sum(axis=1), 1.0, atol=1e-9)
+        assert ranks.shape == (nt,)
+
+    def test_estimator_time_monotone_in_matrix(self):
+        profile = PlanProfile.dense_fp64()
+        times = [
+            estimate_cholesky(profile, n, 800, A64FX, nodes=256).time_s
+            for n in (200_000, 400_000, 800_000)
+        ]
+        assert times == sorted(times)
+
+    def test_estimator_storage_monotone_in_matrix(self):
+        profile = PlanProfile.dense_fp64()
+        st_ = [
+            estimate_cholesky(profile, n, 800, A64FX, nodes=256).storage_bytes
+            for n in (200_000, 400_000)
+        ]
+        assert st_[1] > st_[0]
+
+    def test_band_size_only_increases_time_for_low_rank(self):
+        """Growing the forced-dense band cannot make a dense-only
+        profile slower (it is a no-op there)."""
+        profile = PlanProfile.dense_fp64()
+        t1 = estimate_cholesky(profile, 400_000, 800, A64FX, nodes=64,
+                               band_size=1).time_s
+        t5 = estimate_cholesky(profile, 400_000, 800, A64FX, nodes=64,
+                               band_size=5).time_s
+        assert t1 == pytest.approx(t5)
+
+
+class TestPrecisionLadderInvariant:
+    @given(
+        norms=st.lists(st.floats(1e-12, 1e3), min_size=3, max_size=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_demotion_monotone_in_norm(self, norms):
+        """Among off-diagonal tiles, a smaller norm never gets a higher
+        precision than a larger norm."""
+        from repro.tile import frobenius_precision_map
+
+        keys = [(i + 1, 0) for i in range(len(norms))]
+        tile_norms = dict(zip(keys, norms))
+        tile_norms[(0, 0)] = 1.0
+        pm = frobenius_precision_map(tile_norms, 10.0, len(norms) + 1)
+        ordered = sorted(keys, key=lambda k: tile_norms[k])
+        precisions = [int(pm[k]) for k in ordered]
+        assert precisions == sorted(precisions)

@@ -1,0 +1,68 @@
+"""Unit tests for the simple baseline kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    ExponentialKernel,
+    GaussianKernel,
+    PoweredExponentialKernel,
+)
+
+
+class TestExponential:
+    def test_closed_form(self, rng):
+        kern = ExponentialKernel()
+        x1 = np.array([[0.0, 0.0]])
+        x2 = np.array([[0.3, 0.4]])
+        c = kern(np.array([2.0, 0.5]), x1, x2)[0, 0]
+        assert c == pytest.approx(2.0 * np.exp(-0.5 / 0.5))
+
+    def test_spd(self, rng):
+        x = rng.uniform(size=(40, 2))
+        c = ExponentialKernel().covariance_matrix(np.array([1.0, 0.2]), x)
+        assert np.linalg.eigvalsh(c).min() > 0.0
+
+
+class TestPoweredExponential:
+    def test_power_one_equals_exponential(self, rng):
+        x = rng.uniform(size=(15, 2))
+        c1 = PoweredExponentialKernel()(np.array([1.0, 0.3, 1.0]), x)
+        c2 = ExponentialKernel()(np.array([1.0, 0.3]), x)
+        np.testing.assert_allclose(c1, c2, rtol=1e-12)
+
+    def test_power_two_equals_gaussian_scaled(self):
+        """power=2 gives exp(-(r/a)^2): a Gaussian with range a/sqrt(2)."""
+        kern = PoweredExponentialKernel()
+        x1 = np.array([[0.0, 0.0]])
+        x2 = np.array([[0.5, 0.0]])
+        c = kern(np.array([1.0, 0.25, 2.0]), x1, x2)[0, 0]
+        assert c == pytest.approx(np.exp(-4.0))
+
+    def test_zero_distance(self, rng):
+        x = rng.uniform(size=(5, 2))
+        c = PoweredExponentialKernel()(np.array([1.7, 0.3, 0.8]), x)
+        np.testing.assert_allclose(np.diag(c), 1.7)
+
+
+class TestGaussian:
+    def test_closed_form(self):
+        kern = GaussianKernel()
+        x1 = np.array([[0.0, 0.0]])
+        x2 = np.array([[1.0, 0.0]])
+        c = kern(np.array([1.0, 0.5]), x1, x2)[0, 0]
+        assert c == pytest.approx(np.exp(-2.0))
+
+    def test_rank_drops_with_separation(self, rng):
+        """Well-separated cluster interactions compress to lower rank
+        than touching ones — the admissibility property TLR exploits."""
+        from repro.tile.compression import rank_of_block
+
+        x1 = rng.uniform(size=(40, 2))
+        theta2 = np.array([1.0, 1.0])
+        kern = GaussianKernel()
+        near = kern(theta2, x1, rng.uniform(size=(40, 2)) + 0.5)
+        far = kern(theta2, x1, rng.uniform(size=(40, 2)) + 4.0)
+        rank_near = rank_of_block(near, 1e-8 * np.linalg.norm(near))
+        rank_far = rank_of_block(far, 1e-8 * np.linalg.norm(far))
+        assert rank_far < rank_near

@@ -1,0 +1,159 @@
+"""Tests for the anisotropic and bivariate Matérn kernel extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.kernels import (
+    AnisotropicMaternKernel,
+    BivariateMaternKernel,
+    MaternKernel,
+    parsimonious_rho_max,
+    stack_bivariate,
+)
+
+
+class TestAnisotropicMatern:
+    def test_reduces_to_isotropic(self, rng):
+        x = rng.uniform(size=(25, 2))
+        iso = MaternKernel()(np.array([1.0, 0.2, 0.7]), x)
+        ani = AnisotropicMaternKernel()(
+            np.array([1.0, 0.2, 0.2, 0.3, 0.7]), x
+        )
+        np.testing.assert_allclose(ani, iso, atol=1e-13)
+
+    def test_positive_definite(self, rng):
+        x = rng.uniform(size=(60, 2))
+        c = AnisotropicMaternKernel().covariance_matrix(
+            np.array([1.0, 0.4, 0.05, 0.7, 0.8]), x
+        )
+        assert np.linalg.eigvalsh(c).min() > 0.0
+
+    def test_major_axis_decays_slower(self):
+        """Correlation along the major axis exceeds the minor axis at
+        equal distance."""
+        kern = AnisotropicMaternKernel()
+        theta = np.array([1.0, 0.5, 0.1, 0.0, 0.5])  # major along x
+        origin = np.array([[0.0, 0.0]])
+        along_x = kern(theta, origin, np.array([[0.3, 0.0]]))[0, 0]
+        along_y = kern(theta, origin, np.array([[0.0, 0.3]]))[0, 0]
+        assert along_x > along_y
+
+    def test_rotation_moves_major_axis(self):
+        kern = AnisotropicMaternKernel()
+        theta = np.array([1.0, 0.5, 0.1, np.pi / 2 - 1e-12, 0.5])
+        assert kern.effective_range(theta, [0.0, 1.0]) == pytest.approx(
+            0.5, rel=1e-9
+        )
+        assert kern.effective_range(theta, [1.0, 0.0]) == pytest.approx(
+            0.1, rel=1e-9
+        )
+
+    def test_symmetry(self, rng):
+        x = rng.uniform(size=(20, 2))
+        c = AnisotropicMaternKernel().covariance_matrix(
+            np.array([1.0, 0.3, 0.15, 0.4, 1.2]), x
+        )
+        np.testing.assert_allclose(c, c.T, atol=1e-14)
+
+    @given(angle=st.floats(-1.5, 1.5), ratio=st.floats(0.1, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_diagonal_is_variance(self, angle, ratio):
+        kern = AnisotropicMaternKernel()
+        theta = np.array([2.0, 0.4, 0.4 * ratio, angle, 0.5])
+        gen = np.random.default_rng(1)
+        x = gen.uniform(size=(10, 2))
+        c = kern.covariance_matrix(theta, x)
+        np.testing.assert_allclose(np.diag(c), 2.0, rtol=1e-12)
+
+
+class TestParsimoniousBound:
+    def test_equal_smoothness_bound_is_one(self):
+        assert parsimonious_rho_max(0.7, 0.7) == pytest.approx(1.0)
+
+    def test_unequal_smoothness_below_one(self):
+        assert parsimonious_rho_max(0.5, 2.5) < 1.0
+
+    def test_symmetric_in_arguments(self):
+        assert parsimonious_rho_max(0.4, 1.3) == pytest.approx(
+            parsimonious_rho_max(1.3, 0.4)
+        )
+
+
+class TestBivariateMatern:
+    THETA = np.array([1.3, 0.7, 0.15, 0.5, 1.5, 0.6])
+
+    def test_stack_layout(self, rng):
+        space = rng.uniform(size=(5, 2))
+        x = stack_bivariate(space)
+        assert x.shape == (10, 3)
+        np.testing.assert_array_equal(x[:5, 2], 0.0)
+        np.testing.assert_array_equal(x[5:, 2], 1.0)
+
+    def test_stack_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            stack_bivariate(np.zeros((4, 3)))
+
+    def test_marginal_variances(self, rng):
+        kern = BivariateMaternKernel()
+        x = stack_bivariate(rng.uniform(size=(8, 2)))
+        c = kern.covariance_matrix(self.THETA, x)
+        np.testing.assert_allclose(np.diag(c)[:8], 1.3, rtol=1e-12)
+        np.testing.assert_allclose(np.diag(c)[8:], 0.7, rtol=1e-12)
+
+    def test_colocated_cross_correlation(self, rng):
+        kern = BivariateMaternKernel()
+        space = rng.uniform(size=(6, 2))
+        x = stack_bivariate(space)
+        c = kern.covariance_matrix(self.THETA, x)
+        rho = kern.colocated_correlation(self.THETA)
+        expected = rho * np.sqrt(1.3 * 0.7)
+        for i in range(6):
+            assert c[i, 6 + i] == pytest.approx(expected, rel=1e-10)
+
+    def test_positive_definite_across_sweep(self, rng):
+        kern = BivariateMaternKernel()
+        x = stack_bivariate(rng.uniform(size=(30, 2)))
+        for beta in (-0.95, -0.3, 0.0, 0.5, 0.95):
+            theta = np.array([1.0, 2.0, 0.2, 0.4, 2.2, beta])
+            c = kern.covariance_matrix(theta, x)
+            assert np.linalg.eigvalsh(c).min() > -1e-10
+
+    def test_marginal_blocks_are_matern(self, rng):
+        kern = BivariateMaternKernel()
+        space = rng.uniform(size=(10, 2))
+        x = stack_bivariate(space)
+        c = kern.covariance_matrix(self.THETA, x)
+        m1 = MaternKernel()(np.array([1.3, 0.15, 0.5]), space)
+        np.testing.assert_allclose(c[:10, :10], m1, atol=1e-12)
+        m2 = MaternKernel()(np.array([0.7, 0.15, 1.5]), space)
+        np.testing.assert_allclose(c[10:, 10:], m2, atol=1e-12)
+
+    def test_rejects_bad_variable_ids(self):
+        kern = BivariateMaternKernel()
+        x = np.array([[0.1, 0.2, 2.0]])
+        with pytest.raises(ShapeError):
+            kern(self.THETA, x)
+
+    def test_sampleable_and_fittable(self, rng):
+        """End-to-end: sample a bivariate field and evaluate its
+        likelihood through the tiled pipeline."""
+        from repro.core import loglikelihood
+        from repro.data import sample_gaussian_field
+
+        kern = BivariateMaternKernel()
+        space = rng.uniform(size=(40, 2))
+        x = stack_bivariate(space)
+        z = sample_gaussian_field(kern, self.THETA, x, seed=3)
+        res = loglikelihood(kern, self.THETA, x, z, tile_size=20)
+        assert np.isfinite(res.value)
+
+    def test_beta_zero_decouples(self, rng):
+        kern = BivariateMaternKernel()
+        theta = self.THETA.copy()
+        theta[5] = 1e-13
+        x = stack_bivariate(rng.uniform(size=(6, 2)))
+        c = kern.covariance_matrix(theta, x)
+        np.testing.assert_allclose(c[:6, 6:], 0.0, atol=1e-12)

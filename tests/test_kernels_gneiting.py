@@ -1,0 +1,123 @@
+"""Unit + property tests for the Gneiting space-time kernel (Eq. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError, ShapeError
+from repro.kernels import GneitingMaternKernel, temporal_decay
+from repro.kernels.matern import matern_correlation
+
+THETA = np.array([1.0, 0.5, 0.8, 0.7, 0.6, 0.4])
+
+
+def st_grid(n_space=5, n_slots=3, seed=0):
+    gen = np.random.default_rng(seed)
+    space = gen.uniform(size=(n_space, 2))
+    return np.vstack(
+        [np.column_stack([space, np.full(n_space, float(t))]) for t in range(n_slots)]
+    )
+
+
+class TestTemporalDecay:
+    def test_one_at_zero_lag(self):
+        assert temporal_decay(np.array([0.0]), 2.0, 0.7)[0] == 1.0
+
+    def test_monotone_in_lag(self):
+        u = np.linspace(0, 5, 50)
+        psi = temporal_decay(u, 1.5, 0.8)
+        assert np.all(np.diff(psi) >= 0.0)
+
+    def test_closed_form(self):
+        u = np.array([2.0])
+        psi = temporal_decay(u, 3.0, 0.5)
+        assert psi[0] == pytest.approx(3.0 * 2.0 + 1.0)
+
+
+class TestGneitingKernel:
+    def test_param_count(self, gneiting):
+        assert gneiting.nparams == 6
+        assert gneiting.param_names[0] == "variance"
+        assert gneiting.param_names[5] == "beta"
+
+    def test_needs_three_columns(self, gneiting):
+        with pytest.raises(ShapeError):
+            gneiting(THETA, np.zeros((4, 2)))
+
+    def test_variance_on_diagonal(self, gneiting):
+        x = st_grid()
+        c = gneiting.covariance_matrix(THETA, x)
+        np.testing.assert_allclose(np.diag(c), THETA[0], rtol=1e-12)
+
+    def test_symmetric(self, gneiting):
+        x = st_grid()
+        c = gneiting.covariance_matrix(THETA, x)
+        np.testing.assert_allclose(c, c.T, atol=1e-14)
+
+    def test_positive_definite_in_validity_region(self, gneiting):
+        x = st_grid(8, 4)
+        c = gneiting.covariance_matrix(THETA, x)
+        assert np.linalg.eigvalsh(c).min() > 0.0
+
+    def test_separable_at_beta_zero_factorizes(self, gneiting):
+        """At beta = 0, C(h, u) = C_s(h) * C_t(u)."""
+        theta = THETA.copy()
+        theta[5] = 0.0
+        x1 = np.array([[0.1, 0.2, 0.0]])
+        x2 = np.array([[0.4, 0.6, 2.0]])
+        c = gneiting(theta, x1, x2)[0, 0]
+        h = np.linalg.norm([0.3, 0.4])
+        spatial = gneiting.spatial_margin(theta, np.array([h]))[0]
+        temporal = gneiting.temporal_margin(theta, np.array([2.0]))[0]
+        assert c == pytest.approx(spatial * temporal / theta[0], rel=1e-12)
+
+    def test_is_separable_flag(self, gneiting):
+        theta = THETA.copy()
+        assert not gneiting.is_separable(theta)
+        theta[5] = 0.0
+        assert gneiting.is_separable(theta)
+
+    def test_nonseparability_changes_cross_terms(self, gneiting):
+        """beta > 0 must change covariance at nonzero (h, u) lags."""
+        x1 = np.array([[0.0, 0.0, 0.0]])
+        x2 = np.array([[0.3, 0.0, 1.0]])
+        theta0 = THETA.copy()
+        theta0[5] = 0.0
+        theta1 = THETA.copy()
+        theta1[5] = 1.0
+        c0 = gneiting(theta0, x1, x2)[0, 0]
+        c1 = gneiting(theta1, x1, x2)[0, 0]
+        assert c0 != pytest.approx(c1, rel=1e-6)
+
+    def test_spatial_margin_is_matern(self, gneiting):
+        h = np.linspace(0, 2, 10)
+        margin = gneiting.spatial_margin(THETA, h)
+        expected = THETA[0] * matern_correlation(h / THETA[1], THETA[2])
+        np.testing.assert_allclose(margin, expected, rtol=1e-12)
+
+    def test_rejects_alpha_above_validity(self, gneiting):
+        theta = THETA.copy()
+        theta[4] = 3.49  # the paper's fitted value, outside (0, 1]
+        with pytest.raises(ParameterError):
+            gneiting.validate_theta(theta)
+
+    def test_decay_in_time(self, gneiting):
+        base = np.array([[0.5, 0.5, 0.0]])
+        lags = [gneiting(THETA, base, np.array([[0.5, 0.5, float(t)]]))[0, 0]
+                for t in range(5)]
+        assert all(a > b for a, b in zip(lags, lags[1:]))
+
+    @given(
+        beta=st.floats(0.0, 1.0),
+        alpha=st.floats(0.1, 1.0),
+        u=st.floats(0.0, 5.0),
+        h=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_variance(self, gneiting, beta, alpha, u, h):
+        theta = np.array([2.0, 0.5, 0.8, 0.7, alpha, beta])
+        x1 = np.array([[0.0, 0.0, 0.0]])
+        x2 = np.array([[h, 0.0, u]])
+        c = gneiting(theta, x1, x2)[0, 0]
+        assert -1e-12 <= c <= 2.0 + 1e-12

@@ -1,0 +1,135 @@
+"""Unit + property tests for the Matérn kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.kernels import MaternKernel, matern_correlation
+
+
+class TestMaternCorrelation:
+    def test_one_at_zero(self):
+        for nu in (0.3, 0.5, 1.0, 1.5, 2.5, 3.7):
+            assert matern_correlation(np.array([0.0]), nu)[0] == 1.0
+
+    def test_closed_form_half(self):
+        r = np.linspace(0.01, 5.0, 40)
+        np.testing.assert_allclose(
+            matern_correlation(r, 0.5), np.exp(-r), rtol=1e-12
+        )
+
+    def test_closed_form_three_half(self):
+        r = np.linspace(0.01, 5.0, 40)
+        np.testing.assert_allclose(
+            matern_correlation(r, 1.5), (1 + r) * np.exp(-r), rtol=1e-12
+        )
+
+    def test_generic_matches_closed_form(self):
+        """The Bessel path at nu just off 1/2 must approach exp(-r)."""
+        r = np.linspace(0.05, 3.0, 20)
+        generic = matern_correlation(r, 0.5 + 1e-7)
+        np.testing.assert_allclose(generic, np.exp(-r), rtol=1e-4)
+
+    def test_generic_matches_closed_form_25(self):
+        r = np.linspace(0.05, 3.0, 20)
+        generic = matern_correlation(r, 2.5 + 1e-8)
+        closed = (1 + r + r * r / 3) * np.exp(-r)
+        np.testing.assert_allclose(generic, closed, rtol=1e-5)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0.0, 10.0, 200)
+        for nu in (0.44, 1.0, 2.0):
+            c = matern_correlation(r, nu)
+            assert np.all(np.diff(c) <= 1e-12)
+
+    def test_no_overflow_large_argument(self):
+        c = matern_correlation(np.array([1e4]), 0.44)
+        assert c[0] == 0.0 or c[0] < 1e-300
+
+    def test_no_underflow_small_argument(self):
+        c = matern_correlation(np.array([1e-12]), 0.44)
+        assert 0.9 < c[0] <= 1.0
+
+    def test_rejects_nonpositive_smoothness(self):
+        with pytest.raises(ValueError):
+            matern_correlation(np.array([1.0]), 0.0)
+
+    @given(
+        nu=st.floats(0.05, 4.5),
+        r=st.floats(0.0, 50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_zero_one(self, nu, r):
+        c = matern_correlation(np.array([r]), nu)[0]
+        assert 0.0 <= c <= 1.0
+
+    @given(nu=st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_smoother_decays_slower_at_small_distance(self, nu):
+        """At small arguments, larger smoothness keeps correlation
+        higher (flatter at the origin)."""
+        r = np.array([0.05])
+        assert matern_correlation(r, nu + 0.5)[0] >= (
+            matern_correlation(r, nu)[0] - 1e-9
+        )
+
+
+class TestMaternKernel:
+    def test_param_names(self, matern):
+        assert matern.param_names == ("variance", "range", "smoothness")
+
+    def test_diagonal_is_variance(self, matern, rng):
+        x = rng.uniform(size=(30, 2))
+        theta = np.array([2.5, 0.2, 1.5])
+        c = matern.covariance_matrix(theta, x)
+        np.testing.assert_allclose(np.diag(c), 2.5, rtol=1e-12)
+
+    def test_symmetric(self, matern, rng):
+        x = rng.uniform(size=(25, 2))
+        c = matern.covariance_matrix(np.array([1.0, 0.1, 0.5]), x)
+        np.testing.assert_allclose(c, c.T)
+
+    def test_positive_definite_with_distinct_points(self, matern, rng):
+        x = rng.uniform(size=(60, 2))
+        c = matern.covariance_matrix(np.array([1.0, 0.15, 0.8]), x)
+        w = np.linalg.eigvalsh(c)
+        assert w.min() > 0.0
+
+    def test_equals_exponential_at_half(self, matern, rng):
+        from repro.kernels import ExponentialKernel
+
+        x = rng.uniform(size=(20, 2))
+        c1 = matern(np.array([1.3, 0.2, 0.5]), x)
+        c2 = ExponentialKernel()(np.array([1.3, 0.2]), x)
+        np.testing.assert_allclose(c1, c2, rtol=1e-12)
+
+    def test_cross_covariance_shape(self, matern, rng):
+        x1 = rng.uniform(size=(7, 2))
+        x2 = rng.uniform(size=(11, 2))
+        assert matern(np.array([1.0, 0.1, 0.5]), x1, x2).shape == (7, 11)
+
+    def test_rejects_bad_theta(self, matern, rng):
+        x = rng.uniform(size=(4, 2))
+        with pytest.raises(ParameterError):
+            matern(np.array([-1.0, 0.1, 0.5]), x)
+        with pytest.raises(ParameterError):
+            matern(np.array([1.0, 0.1]), x)
+
+    def test_nugget_only_on_zero_distance(self, rng):
+        kern = MaternKernel(nugget=0.5)
+        x = rng.uniform(size=(10, 2))
+        theta = np.array([1.0, 0.1, 0.5])
+        c = kern(theta, x, x)
+        assert c[0, 0] == pytest.approx(1.5)
+        assert c[0, 1] < 1.0
+
+    def test_correlation_at_classifies_fig6_settings(self, matern):
+        """Weak range 0.03 decays faster than strong range 0.3."""
+        weak = matern.correlation_at(np.array([1.0, 0.03, 0.5]), 0.1)
+        strong = matern.correlation_at(np.array([1.0, 0.3, 0.5]), 0.1)
+        assert weak < 0.1 < strong
+
+    def test_default_theta_valid(self, matern):
+        matern.validate_theta(matern.default_theta())

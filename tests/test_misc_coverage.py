@@ -1,0 +1,149 @@
+"""Coverage of small corners: config, exceptions, profile helpers,
+the Haswell machine path, and variant assembly wiring."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.exceptions import (
+    CompressionError,
+    ConfigurationError,
+    NotPositiveDefiniteError,
+    OptimizationError,
+    ParameterError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+)
+from repro.perfmodel import (
+    CLASSES,
+    HASWELL_NODE,
+    PlanProfile,
+    estimate_cholesky,
+)
+from repro.tile import Precision
+
+
+class TestConfigDefaults:
+    def test_paper_values(self):
+        assert config.DEFAULT_TLR_TOLERANCE == 1e-8
+        assert config.DEFAULT_BAND_FLUCTUATION == 1.0
+        assert 0 < config.DEFAULT_MAX_RANK_FRACTION <= 1.0
+
+    def test_tile_size_positive(self):
+        assert config.DEFAULT_TILE_SIZE > 0
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ParameterError, ShapeError, NotPositiveDefiniteError,
+            CompressionError, SchedulingError, OptimizationError,
+            ConfigurationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_valueerror(self):
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+
+    def test_npd_carries_tile_index(self):
+        exc = NotPositiveDefiniteError("boom", (2, 2))
+        assert exc.tile_index == (2, 2)
+
+    def test_npd_index_optional(self):
+        assert NotPositiveDefiniteError("boom").tile_index is None
+
+
+class TestProfileHelpers:
+    def test_classes_cover_structures_and_precisions(self):
+        assert set(CLASSES) == {
+            "dense/FP64", "dense/FP32", "dense/FP16", "lr/FP64", "lr/FP32",
+        }
+
+    def test_class_precision_lookup(self):
+        assert PlanProfile.class_precision("dense/FP16") is Precision.FP16
+        assert PlanProfile.class_precision("lr/FP32") is Precision.FP32
+
+    def test_class_is_lr(self):
+        assert PlanProfile.class_is_lr("lr/FP64")
+        assert not PlanProfile.class_is_lr("dense/FP64")
+
+    def test_class_fraction_weighting(self):
+        """Offsets are weighted by tile multiplicity (nt - d)."""
+        fr = np.zeros((3, len(CLASSES)))
+        fr[:, CLASSES.index("dense/FP64")] = 1.0
+        fr[2, CLASSES.index("dense/FP64")] = 0.0
+        fr[2, CLASSES.index("dense/FP16")] = 1.0
+        prof = PlanProfile(fractions=fr, mean_rank=np.zeros(3), nt=3)
+        # Offsets have multiplicities 3, 2, 1 -> FP16 fraction = 1/6.
+        assert prof.class_fraction("dense/FP16") == pytest.approx(1 / 6)
+
+
+class TestHaswellPath:
+    def test_estimator_runs_on_shaheen_spec(self):
+        est = estimate_cholesky(
+            PlanProfile.dense_fp64(), 500_000, 1000, HASWELL_NODE, nodes=512
+        )
+        assert est.time_s > 0
+        assert est.flops == pytest.approx(500_000**3 / 3, rel=0.05)
+
+    def test_fugaku_faster_than_shaheen(self):
+        from repro.perfmodel import A64FX
+
+        n = 500_000
+        t_fugaku = estimate_cholesky(
+            PlanProfile.dense_fp64(), n, 1000, A64FX, nodes=512
+        ).time_s
+        t_shaheen = estimate_cholesky(
+            PlanProfile.dense_fp64(), n, 1000, HASWELL_NODE, nodes=512
+        ).time_s
+        assert t_fugaku < t_shaheen
+
+
+class TestVariantAssemblyWiring:
+    def test_band_variant_reaches_assembly(self, matern, theta_matern,
+                                           locations_200):
+        """A custom band-rule variant flows through the likelihood."""
+        from repro.core import VariantConfig, loglikelihood
+
+        cfg = VariantConfig(
+            name="band-test", use_mp=True, mp_mode="band",
+            mp_fp64_band=2, mp_fp32_band=3,
+        )
+        res = loglikelihood(
+            matern, theta_matern, locations_200, np.zeros(200) + 0.1,
+            tile_size=40, variant=cfg, nugget=1e-8,
+        )
+        counts = res.report.plan.counts()
+        assert "dense/FP16" in counts
+
+    def test_hgemm_variant_runs(self, matern, theta_matern, locations_200):
+        from repro.core import VariantConfig, loglikelihood
+
+        cfg = VariantConfig(
+            name="hgemm-test", use_mp=True,
+            fp16_accumulate_fp32=False, shgemm_mode="hgemm",
+        )
+        theta = np.array([1.0, 0.03, 0.5])  # weak: FP16 tiles exist
+        res = loglikelihood(
+            matern, theta, locations_200, np.zeros(200) + 0.1,
+            tile_size=40, variant=cfg, nugget=1e-8,
+        )
+        assert np.isfinite(res.value)
+
+    def test_perfmodel_structure_mode_variant(self, matern, theta_matern,
+                                              locations_200):
+        """structure_mode='perfmodel' at laptop tiles densifies all."""
+        from repro.core import VariantConfig, loglikelihood
+
+        cfg = VariantConfig(
+            name="pm-test", use_tlr=True, structure_mode="perfmodel",
+        )
+        res = loglikelihood(
+            matern, theta_matern, locations_200, np.zeros(200) + 0.1,
+            tile_size=40, variant=cfg, nugget=1e-8,
+        )
+        assert all(
+            k.startswith("dense/") for k in res.report.plan.counts()
+        )

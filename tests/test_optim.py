@@ -1,0 +1,192 @@
+"""Tests for bound transforms, Nelder-Mead, and PSO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.kernels.base import ParameterSpec
+from repro.optim import BoundTransform, nelder_mead, particle_swarm
+
+SPECS = (
+    ParameterSpec("positive", 0.0, np.inf, 1.0),
+    ParameterSpec("unit", 0.0, 1.0, 0.5),
+    ParameterSpec("free", -np.inf, np.inf, 0.0),
+    ParameterSpec("upper", -np.inf, 2.0, 0.0),
+)
+
+
+class TestBoundTransform:
+    def test_roundtrip(self):
+        tr = BoundTransform.from_specs(SPECS)
+        theta = np.array([3.5, 0.25, -7.0, 1.5])
+        u = tr.to_unconstrained(theta)
+        np.testing.assert_allclose(tr.to_constrained(u), theta, rtol=1e-10)
+
+    def test_constrained_always_in_bounds(self):
+        tr = BoundTransform.from_specs(SPECS)
+        for u in (np.full(4, -40.0), np.full(4, 40.0), np.zeros(4)):
+            theta = tr.to_constrained(u)
+            assert theta[0] > 0
+            assert 0 < theta[1] < 1
+            assert theta[3] < 2
+
+    def test_out_of_bounds_rejected(self):
+        tr = BoundTransform.from_specs(SPECS)
+        with pytest.raises(ParameterError):
+            tr.to_unconstrained(np.array([-1.0, 0.5, 0.0, 0.0]))
+        with pytest.raises(ParameterError):
+            tr.to_unconstrained(np.array([1.0, 1.5, 0.0, 0.0]))
+
+    def test_length_mismatch(self):
+        tr = BoundTransform.from_specs(SPECS)
+        with pytest.raises(ParameterError):
+            tr.to_unconstrained(np.zeros(2))
+
+    def test_extreme_u_no_overflow(self):
+        tr = BoundTransform.from_specs(SPECS)
+        theta = tr.to_constrained(np.full(4, 1e8))
+        assert np.all(np.isfinite(theta))
+
+    @given(
+        u=st.lists(st.floats(-30, 30), min_size=4, max_size=4)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_from_free_space(self, u):
+        tr = BoundTransform.from_specs(SPECS)
+        theta = tr.to_constrained(np.array(u))
+        u2 = tr.to_unconstrained(theta)
+        theta2 = tr.to_constrained(u2)
+        np.testing.assert_allclose(theta, theta2, rtol=1e-8, atol=1e-10)
+
+
+class TestNelderMead:
+    def test_quadratic_bowl(self):
+        res = nelder_mead(lambda x: float(np.sum((x - 3.0) ** 2)),
+                          np.zeros(3), max_iter=400)
+        np.testing.assert_allclose(res.x, 3.0, atol=1e-3)
+        assert res.converged
+
+    def test_rosenbrock_2d(self):
+        def rosen(x):
+            return float(100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2)
+
+        res = nelder_mead(rosen, np.array([-1.0, 1.0]), max_iter=800,
+                          fatol=1e-10, xatol=1e-8)
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-2)
+
+    def test_handles_inf_regions(self):
+        """Objective returning inf on half the space (rejected MLE
+        steps) must not break the simplex."""
+
+        def fn(x):
+            if x[0] < 0:
+                return np.inf
+            return float((x[0] - 2.0) ** 2 + x[1] ** 2)
+
+        res = nelder_mead(fn, np.array([0.5, 0.5]), max_iter=300)
+        np.testing.assert_allclose(res.x, [2.0, 0.0], atol=1e-2)
+
+    def test_1d(self):
+        res = nelder_mead(lambda x: float((x[0] + 1) ** 2), np.array([5.0]),
+                          max_iter=200)
+        assert res.x[0] == pytest.approx(-1.0, abs=1e-3)
+
+    def test_max_iter_respected(self):
+        res = nelder_mead(lambda x: float(np.sum(x**2)), np.ones(2), max_iter=5)
+        assert res.nit <= 5
+        assert not res.converged or res.nit <= 5
+
+    def test_history_best_nonincreasing(self):
+        res = nelder_mead(lambda x: float(np.sum(x**2)), np.ones(3), max_iter=50)
+        assert all(b <= a + 1e-12 for a, b in zip(res.history, res.history[1:]))
+
+    def test_nfev_counted(self):
+        count = [0]
+
+        def fn(x):
+            count[0] += 1
+            return float(np.sum(x**2))
+
+        res = nelder_mead(fn, np.ones(2), max_iter=30)
+        assert res.nfev == count[0]
+
+    def test_empty_x0_rejected(self):
+        with pytest.raises(ValueError):
+            nelder_mead(lambda x: 0.0, np.array([]))
+
+
+class TestPSO:
+    def test_sphere(self):
+        def batch(pos):
+            return np.sum(pos**2, axis=1)
+
+        res = particle_swarm(batch, [(-5, 5)] * 3, n_particles=20,
+                             max_iter=60, seed=1)
+        assert res.fun < 1e-2
+
+    def test_respects_bounds(self):
+        seen = []
+
+        def batch(pos):
+            seen.append(pos.copy())
+            return np.sum(pos**2, axis=1)
+
+        particle_swarm(batch, [(1.0, 2.0)] * 2, n_particles=8,
+                       max_iter=10, seed=2)
+        allpos = np.vstack(seen)
+        assert np.all(allpos >= 1.0 - 1e-12)
+        assert np.all(allpos <= 2.0 + 1e-12)
+
+    def test_batch_evaluation_shape(self):
+        shapes = []
+
+        def batch(pos):
+            shapes.append(pos.shape)
+            return np.zeros(len(pos))
+
+        particle_swarm(batch, [(-1, 1)] * 2, n_particles=12, max_iter=3,
+                       seed=3, patience=100)
+        assert all(s == (12, 2) for s in shapes)
+
+    def test_history_nonincreasing(self):
+        def batch(pos):
+            return np.sum(pos**2, axis=1)
+
+        res = particle_swarm(batch, [(-2, 2)] * 2, n_particles=10,
+                             max_iter=20, seed=4)
+        assert all(b <= a + 1e-12 for a, b in zip(res.history, res.history[1:]))
+
+    def test_early_stop_on_stall(self):
+        def batch(pos):
+            return np.ones(len(pos))  # flat objective
+
+        res = particle_swarm(batch, [(-1, 1)] * 2, n_particles=5,
+                             max_iter=500, patience=3, seed=5)
+        assert res.nit <= 10
+
+    def test_handles_inf(self):
+        def batch(pos):
+            vals = np.sum(pos**2, axis=1)
+            vals[pos[:, 0] < 0] = np.inf
+            return vals
+
+        res = particle_swarm(batch, [(-5, 5)] * 2, n_particles=15,
+                             max_iter=40, seed=6)
+        assert np.isfinite(res.fun)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            particle_swarm(lambda p: np.zeros(len(p)), [(1.0, 1.0)])
+
+    def test_seeded_reproducible(self):
+        def batch(pos):
+            return np.sum((pos - 0.5) ** 2, axis=1)
+
+        r1 = particle_swarm(batch, [(-1, 1)] * 2, n_particles=8,
+                            max_iter=15, seed=7)
+        r2 = particle_swarm(batch, [(-1, 1)] * 2, n_particles=8,
+                            max_iter=15, seed=7)
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert r1.fun == r2.fun

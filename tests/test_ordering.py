@@ -1,0 +1,158 @@
+"""Tests for Morton/Hilbert orderings and the dispatcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ShapeError
+from repro.ordering import (
+    hilbert_codes_2d,
+    hilbert_order,
+    morton_codes,
+    morton_order,
+    order_points,
+)
+
+
+def _locality_score(x: np.ndarray, perm: np.ndarray) -> float:
+    """Mean distance between consecutive points after permutation —
+    lower means better locality."""
+    xp = x[perm]
+    return float(np.mean(np.linalg.norm(np.diff(xp, axis=0), axis=1)))
+
+
+class TestMorton:
+    def test_permutation_is_bijection(self, rng):
+        x = rng.uniform(size=(100, 2))
+        perm = morton_order(x)
+        assert sorted(perm) == list(range(100))
+
+    def test_deterministic(self, rng):
+        x = rng.uniform(size=(50, 2))
+        np.testing.assert_array_equal(morton_order(x), morton_order(x))
+
+    def test_translation_invariant(self, rng):
+        x = rng.uniform(size=(64, 2))
+        np.testing.assert_array_equal(morton_order(x), morton_order(x + 100.0))
+
+    def test_scale_invariant(self, rng):
+        x = rng.uniform(size=(64, 2))
+        np.testing.assert_array_equal(morton_order(x), morton_order(x * 7.5))
+
+    def test_grid_order_quadrants(self):
+        """On a 2x2 grid the Z-curve visits (0,0),(1,0),(0,1),(1,1)
+        given y-major bit interleave (y gets the higher bit)."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        codes = morton_codes(pts, bits=1)
+        assert codes[0] < codes[1] < codes[2] < codes[3]
+
+    def test_improves_locality_over_random(self, rng):
+        x = rng.uniform(size=(400, 2))
+        random_perm = rng.permutation(400)
+        assert _locality_score(x, morton_order(x)) < 0.5 * _locality_score(
+            x, random_perm
+        )
+
+    def test_3d_supported(self, rng):
+        x = rng.uniform(size=(30, 3))
+        perm = morton_order(x)
+        assert sorted(perm) == list(range(30))
+
+    def test_1d_sorts(self):
+        x = np.array([[3.0], [1.0], [2.0]])
+        np.testing.assert_array_equal(morton_order(x), [1, 2, 0])
+
+    def test_rejects_4d(self, rng):
+        with pytest.raises(ShapeError):
+            morton_codes(rng.uniform(size=(5, 4)))
+
+    def test_constant_column_ok(self, rng):
+        x = np.column_stack([rng.uniform(size=20), np.zeros(20)])
+        assert sorted(morton_order(x)) == list(range(20))
+
+    @given(
+        hnp.arrays(
+            np.float64, st.tuples(st.integers(2, 40), st.just(2)),
+            elements=st.floats(0, 1, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_permutation(self, x):
+        perm = morton_order(x)
+        assert sorted(perm) == list(range(len(x)))
+
+
+class TestHilbert:
+    def test_permutation(self, rng):
+        x = rng.uniform(size=(128, 2))
+        assert sorted(hilbert_order(x)) == list(range(128))
+
+    def test_codes_unique_on_grid(self):
+        side = 8
+        ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        pts = np.column_stack([ii.ravel(), jj.ravel()]).astype(float)
+        codes = hilbert_codes_2d(pts, bits=3)
+        assert len(set(codes.tolist())) == side * side
+
+    def test_codes_cover_exact_range_on_grid(self):
+        side = 4
+        ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        pts = np.column_stack([ii.ravel(), jj.ravel()]).astype(float)
+        codes = sorted(hilbert_codes_2d(pts, bits=2).tolist())
+        assert codes == list(range(side * side))
+
+    def test_grid_neighbors_adjacent(self):
+        """Consecutive Hilbert indices are grid neighbors (the curve
+        property Morton lacks)."""
+        side = 16
+        ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        pts = np.column_stack([ii.ravel(), jj.ravel()]).astype(float)
+        order = hilbert_order(pts)
+        steps = np.linalg.norm(np.diff(pts[order], axis=0), axis=1)
+        np.testing.assert_allclose(steps, 1.0)
+
+    def test_improves_locality(self, rng):
+        x = rng.uniform(size=(400, 2))
+        assert _locality_score(x, hilbert_order(x)) < 0.5 * _locality_score(
+            x, rng.permutation(400)
+        )
+
+    def test_rejects_bad_bits(self, rng):
+        with pytest.raises(ShapeError):
+            hilbert_codes_2d(rng.uniform(size=(4, 2)), bits=0)
+
+
+class TestDispatcher:
+    def test_none_is_identity(self, rng):
+        x = rng.uniform(size=(10, 2))
+        np.testing.assert_array_equal(order_points(x, "none"), np.arange(10))
+
+    def test_random_seeded(self, rng):
+        x = rng.uniform(size=(30, 2))
+        p1 = order_points(x, "random", seed=5)
+        p2 = order_points(x, "random", seed=5)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ShapeError):
+            order_points(rng.uniform(size=(4, 2)), "zigzag")
+
+    def test_space_time_groups_spatial_cells(self, rng):
+        """Space-time ordering keeps all time replicas of close points
+        near each other."""
+        space = rng.uniform(size=(20, 2))
+        x = np.vstack(
+            [np.column_stack([space, np.full(20, float(t))]) for t in range(3)]
+        )
+        perm = order_points(x, "morton", space_time=True)
+        xp = x[perm]
+        # Same spatial point's three time slices must be consecutive.
+        for i in range(0, 60, 3):
+            block = xp[i : i + 3, :2]
+            assert np.allclose(block, block[0])
+
+    def test_hilbert_requires_2d(self, rng):
+        with pytest.raises(ShapeError):
+            order_points(rng.uniform(size=(5, 3)), "hilbert")

@@ -1,0 +1,147 @@
+"""Tests for machine specs, kernel flop/time models, and the Fig. 5
+crossover analysis."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    A64FX,
+    HASWELL_NODE,
+    TaskShape,
+    crossover_rank,
+    dense_gemm_flops,
+    dense_potrf_flops,
+    gemm_ratio_curve,
+    gemm_time_dense,
+    gemm_time_tlr,
+    task_bytes,
+    task_flops,
+    task_time,
+    tlr_gemm_flops,
+)
+from repro.tile import Precision
+
+
+class TestMachineSpec:
+    def test_a64fx_peaks(self):
+        assert A64FX.peak_gflops[Precision.FP64] == 3072.0
+        assert A64FX.peak_gflops[Precision.FP32] == 2 * 3072.0
+        assert A64FX.cores_per_node == 48
+
+    def test_sustained_efficiency_65_percent(self):
+        rate = A64FX.dense_rate(Precision.FP64)
+        assert rate == pytest.approx(64e9 * 0.65)
+
+    def test_fp16_fallback_runs_at_fp32_rate(self):
+        assert A64FX.dense_rate(
+            Precision.FP16, shgemm_mode="sgemm_fallback"
+        ) == A64FX.dense_rate(Precision.FP32)
+
+    def test_shgemm_slower_than_sgemm(self):
+        """Fig. 8: BLIS SHGEMM underperforms SSL SGEMM."""
+        assert A64FX.dense_rate(
+            Precision.FP16, shgemm_mode="shgemm"
+        ) < A64FX.dense_rate(Precision.FP32)
+
+    def test_hgemm_fastest(self):
+        assert A64FX.dense_rate(
+            Precision.FP16, shgemm_mode="hgemm"
+        ) > A64FX.dense_rate(Precision.FP32)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            A64FX.dense_rate(Precision.FP16, shgemm_mode="magic")
+
+    def test_tlr_rate_below_dense(self):
+        assert A64FX.tlr_rate(Precision.FP64) < A64FX.dense_rate(Precision.FP64)
+
+    def test_tlr_never_fp16(self):
+        assert A64FX.tlr_rate(Precision.FP16) == A64FX.tlr_rate(Precision.FP32)
+
+    def test_comm_time(self):
+        t = A64FX.comm_time(40.8e9)  # one second of bandwidth
+        assert t == pytest.approx(1.0 + A64FX.net_latency_s)
+
+    def test_haswell_no_fp16_units(self):
+        assert (
+            HASWELL_NODE.peak_gflops[Precision.FP16]
+            == HASWELL_NODE.peak_gflops[Precision.FP32]
+        )
+
+
+class TestFlops:
+    def test_dense_gemm(self):
+        assert dense_gemm_flops(100) == 2e6
+
+    def test_potrf_cubic_third(self):
+        assert dense_potrf_flops(300) == pytest.approx(300**3 / 3, rel=0.01)
+
+    def test_tlr_gemm_grows_with_rank(self):
+        f = [tlr_gemm_flops(1000, r, r, r) for r in (10, 50, 200)]
+        assert f == sorted(f)
+
+    def test_tlr_cheaper_than_dense_at_low_rank(self):
+        assert tlr_gemm_flops(2000, 20, 20, 20) < dense_gemm_flops(2000)
+
+    def test_task_flops_dispatch(self):
+        assert task_flops(TaskShape("gemm", 100)) == dense_gemm_flops(100)
+        assert task_flops(TaskShape("potrf", 100)) == dense_potrf_flops(100)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            TaskShape("axpy", 100)
+
+
+class TestTaskTime:
+    def test_positive(self):
+        for op in ("potrf", "trsm", "syrk", "gemm"):
+            assert task_time(TaskShape(op, 500), A64FX) > 0
+
+    def test_fp32_faster_than_fp64(self):
+        t64 = task_time(TaskShape("gemm", 800, Precision.FP64), A64FX)
+        t32 = task_time(TaskShape("gemm", 800, Precision.FP32), A64FX)
+        assert t32 < t64
+
+    def test_overhead_floors_small_tasks(self):
+        t = task_time(TaskShape("gemm", 4), A64FX)
+        assert t >= A64FX.task_overhead_s
+
+    def test_bytes_positive(self):
+        assert task_bytes(TaskShape("gemm", 100)) > 0
+        assert task_bytes(
+            TaskShape("gemm", 100, low_rank=True, ranks=(5, 5, 5))
+        ) > 0
+
+    def test_low_rank_bytes_below_dense(self):
+        dense = task_bytes(TaskShape("gemm", 1000))
+        lr = task_bytes(TaskShape("gemm", 1000, low_rank=True, ranks=(20, 20, 20)))
+        assert lr < dense
+
+
+class TestCrossover:
+    def test_paper_crossover_near_200(self):
+        """Fig. 5: dense/TLR crossover at rank ~200 for the paper's
+        tile size on one A64FX core."""
+        xover = crossover_rank(2700, A64FX)
+        assert 120 <= xover <= 320
+
+    def test_crossover_grows_with_tile(self):
+        xs = [crossover_rank(b, A64FX) for b in (400, 800, 1600, 2700)]
+        assert xs == sorted(xs)
+
+    def test_tlr_wins_below_crossover(self):
+        xover = crossover_rank(2700, A64FX)
+        dense = gemm_time_dense(2700, A64FX)
+        assert gemm_time_tlr(2700, xover // 2, A64FX) < dense
+        assert gemm_time_tlr(2700, min(2 * xover, 2699), A64FX) >= dense
+
+    def test_ratio_curve_monotone(self):
+        ranks = np.arange(10, 600, 20)
+        tlr, dense, ratio = gemm_ratio_curve(2700, ranks, A64FX)
+        assert np.all(np.diff(tlr) >= 0)
+        assert np.all(dense == dense[0])
+        assert ratio[0] > 1.0  # rank 10: TLR much faster
+
+    def test_tlr_time_monotone_in_rank(self):
+        times = [gemm_time_tlr(1000, r, A64FX) for r in (5, 50, 300, 499)]
+        assert times == sorted(times)

@@ -1,0 +1,127 @@
+"""Tests for dataflow dependence analysis."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SchedulingError
+from repro.runtime import (
+    Task,
+    build_dag,
+    cholesky_tasks,
+    critical_path_length,
+    validate_schedule,
+)
+
+
+class TestBuildDag:
+    def test_acyclic(self):
+        dag = build_dag(list(cholesky_tasks(6)))
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_sequential_order_is_topological(self):
+        tasks = list(cholesky_tasks(5))
+        dag = build_dag(tasks)
+        for u, v in dag.edges:
+            assert u < v  # generator order respects dependencies
+
+    def test_raw_dependency(self):
+        """TRSM(m,k) reads (k,k) written by POTRF(k)."""
+        tasks = list(cholesky_tasks(3))
+        dag = build_dag(tasks)
+        potrf0 = tasks[0]
+        trsm10 = tasks[1]
+        assert dag.has_edge(potrf0.uid, trsm10.uid)
+
+    def test_war_dependency(self):
+        """POTRF(1) writes (1,1) which SYRK(1,k=0) read: write-after-read."""
+        tasks = list(cholesky_tasks(2))
+        # tasks: potrf0, trsm(1,0), syrk(1,1), potrf(1,1)
+        dag = build_dag(tasks)
+        syrk = next(t for t in tasks if t.op == "syrk")
+        potrf1 = [t for t in tasks if t.op == "potrf"][1]
+        assert dag.has_edge(syrk.uid, potrf1.uid)
+
+    def test_duplicate_uid_rejected(self):
+        tasks = [
+            Task(0, "potrf", 0, output=(0, 0)),
+            Task(0, "potrf", 0, output=(1, 1)),
+        ]
+        with pytest.raises(SchedulingError):
+            build_dag(tasks)
+
+    def test_independent_tasks_unordered(self):
+        """TRSM(1,0) and TRSM(2,0) are parallel."""
+        tasks = list(cholesky_tasks(3))
+        dag = build_dag(tasks)
+        trsms = [t.uid for t in tasks if t.op == "trsm" and t.k == 0]
+        assert not dag.has_edge(trsms[0], trsms[1])
+        assert not dag.has_edge(trsms[1], trsms[0])
+
+    def test_first_panel_width(self):
+        """All k=0 TRSMs depend only on POTRF(0): sources + 1 level."""
+        tasks = list(cholesky_tasks(8))
+        dag = build_dag(tasks)
+        for t in tasks:
+            if t.op == "trsm" and t.k == 0:
+                assert list(dag.predecessors(t.uid)) == [tasks[0].uid]
+
+    @given(nt=st.integers(1, 9))
+    @settings(max_examples=9, deadline=None)
+    def test_property_edges_respect_generator_order(self, nt):
+        dag = build_dag(list(cholesky_tasks(nt)))
+        assert all(u < v for u, v in dag.edges)
+
+
+class TestCriticalPath:
+    def test_unit_durations_chain_length(self):
+        """Unit durations: critical path of tile Cholesky is
+        3 (nt - 1) + 1 tasks deep (potrf->trsm->syrk chain per panel)."""
+        for nt in (1, 2, 4, 6):
+            tasks = list(cholesky_tasks(nt))
+            dag = build_dag(tasks)
+            durations = {t.uid: 1.0 for t in tasks}
+            cp = critical_path_length(dag, durations)
+            assert cp == pytest.approx(3 * (nt - 1) + 1)
+
+    def test_weighted(self):
+        tasks = list(cholesky_tasks(2))
+        dag = build_dag(tasks)
+        durations = {t.uid: (10.0 if t.op == "potrf" else 1.0) for t in tasks}
+        # potrf(0) -> trsm -> syrk -> potrf(1): 10+1+1+10
+        assert critical_path_length(dag, durations) == pytest.approx(22.0)
+
+    def test_lower_bounds_any_schedule(self):
+        tasks = list(cholesky_tasks(5))
+        dag = build_dag(tasks)
+        durations = {t.uid: 1.0 + (t.uid % 3) for t in tasks}
+        cp = critical_path_length(dag, durations)
+        serial = sum(durations.values())
+        assert cp <= serial
+
+
+class TestValidateSchedule:
+    def test_accepts_serial_schedule(self):
+        tasks = list(cholesky_tasks(4))
+        dag = build_dag(tasks)
+        start, end, t = {}, {}, 0.0
+        for task in tasks:
+            start[task.uid] = t
+            t += 1.0
+            end[task.uid] = t
+        validate_schedule(dag, start, end)
+
+    def test_rejects_dependency_violation(self):
+        tasks = list(cholesky_tasks(3))
+        dag = build_dag(tasks)
+        start = {t.uid: 0.0 for t in tasks}
+        end = {t.uid: 1.0 for t in tasks}
+        with pytest.raises(SchedulingError):
+            validate_schedule(dag, start, end)
+
+    def test_rejects_missing_tasks(self):
+        tasks = list(cholesky_tasks(3))
+        dag = build_dag(tasks)
+        with pytest.raises(SchedulingError):
+            validate_schedule(dag, {}, {})

@@ -1,0 +1,77 @@
+"""Tests for 2-D block-cyclic distribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import BlockCyclic2D, square_process_grid
+
+
+class TestSquareGrid:
+    def test_perfect_square(self):
+        assert square_process_grid(16) == (4, 4)
+
+    def test_prime(self):
+        assert square_process_grid(7) == (1, 7)
+
+    def test_rectangular(self):
+        assert square_process_grid(12) == (3, 4)
+
+    def test_one(self):
+        assert square_process_grid(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            square_process_grid(0)
+
+    @given(nodes=st.integers(1, 4096))
+    @settings(max_examples=50, deadline=None)
+    def test_property_factorization(self, nodes):
+        p, q = square_process_grid(nodes)
+        assert p * q == nodes
+        assert p <= q
+
+
+class TestBlockCyclic:
+    def test_owner_formula(self):
+        dist = BlockCyclic2D(2, 3)
+        assert dist.owner(0, 0) == 0
+        assert dist.owner(0, 1) == 1
+        assert dist.owner(1, 0) == 3
+        assert dist.owner(2, 4) == 1  # (2%2)*3 + (4%3)
+
+    def test_owner_in_range(self):
+        dist = BlockCyclic2D(3, 4)
+        for i in range(10):
+            for j in range(10):
+                assert 0 <= dist.owner(i, j) < 12
+
+    def test_rhs_column(self):
+        dist = BlockCyclic2D(2, 3)
+        assert dist.owner(1, -1) == dist.owner(1, 0)
+
+    def test_tiles_of_partition(self):
+        dist = BlockCyclic2D(2, 2)
+        nt = 7
+        all_tiles = [(i, j) for i in range(nt) for j in range(i + 1)]
+        seen = []
+        for node in range(dist.nodes):
+            seen.extend(dist.tiles_of(node, nt))
+        assert sorted(seen) == sorted(all_tiles)
+
+    def test_balanced_distribution(self):
+        """Block-cyclic on a big lower triangle is near-balanced."""
+        dist = BlockCyclic2D(4, 4)
+        nt = 64
+        counts = [len(dist.tiles_of(node, nt)) for node in range(16)]
+        assert max(counts) / min(counts) < 1.2
+
+    def test_fanouts(self):
+        dist = BlockCyclic2D(3, 5)
+        assert dist.row_fanout() == 5
+        assert dist.col_fanout() == 3
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            BlockCyclic2D(0, 4)

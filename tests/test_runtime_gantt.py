@@ -1,0 +1,110 @@
+"""Tests for the trace Gantt renderer and utilization profile."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.runtime import render_gantt, utilization_profile
+from repro.runtime.trace import ExecutionTrace, TaskRecord
+
+
+def small_trace():
+    tr = ExecutionTrace(nodes=2, cores_per_node=1)
+    tr.add(TaskRecord(0, "potrf", 0, 0, 0.0, 1.0))
+    tr.add(TaskRecord(1, "trsm", 1, 0, 1.0, 2.0))
+    tr.add(TaskRecord(2, "gemm", 0, 0, 2.0, 4.0))
+    return tr
+
+
+class TestGantt:
+    def test_renders_rows_per_node(self):
+        out = render_gantt(small_trace(), width=8)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 nodes
+        assert lines[1].startswith("n00")
+        assert lines[2].startswith("n01")
+
+    def test_glyphs_placed(self):
+        out = render_gantt(small_trace(), width=8)
+        node0 = out.splitlines()[1]
+        assert "P" in node0 and "G" in node0
+        node1 = out.splitlines()[2]
+        assert "T" in node1
+
+    def test_idle_is_dot(self):
+        out = render_gantt(small_trace(), width=8)
+        node1 = out.splitlines()[2]
+        assert "." in node1
+
+    def test_empty_trace(self):
+        assert render_gantt(ExecutionTrace()) == "(empty trace)"
+
+    def test_max_nodes_elision(self):
+        tr = ExecutionTrace(nodes=40, cores_per_node=1)
+        tr.add(TaskRecord(0, "gemm", 0, 0, 0.0, 1.0))
+        out = render_gantt(tr, width=8, max_nodes=4)
+        assert "more nodes" in out
+
+    def test_bad_width(self):
+        with pytest.raises(ShapeError):
+            render_gantt(small_trace(), width=1)
+
+    def test_real_simulation_render(self):
+        from repro.runtime import SimConfig, cholesky_tasks, simulate_tasks
+        from repro.tile import TileLayout
+        from repro.tile.decisions import TilePlan
+        from repro.tile.precision import Precision
+
+        layout = TileLayout(160, 32)
+        plan = TilePlan(
+            layout,
+            {k: Precision.FP64 for k in layout.lower_tiles()},
+            {k: False for k in layout.lower_tiles()},
+        )
+        tasks = list(cholesky_tasks(5))
+        trace = simulate_tasks(tasks, layout, plan, SimConfig(nodes=2))
+        out = render_gantt(trace, width=40)
+        assert "P" in out  # a POTRF appears somewhere
+
+
+class TestUtilization:
+    def test_sums_to_busy_fraction(self):
+        tr = small_trace()
+        prof = utilization_profile(tr, buckets=4)
+        # Total busy time 4.0 over capacity 2 * 4.0 = 8.0.
+        assert prof.mean() == pytest.approx(0.5)
+
+    def test_bounded_by_one(self):
+        prof = utilization_profile(small_trace(), buckets=10)
+        assert np.all(prof <= 1.0 + 1e-12)
+        assert np.all(prof >= 0.0)
+
+    def test_fill_and_drain_shape(self):
+        """A real Cholesky run: utilization in the middle exceeds the
+        tail (drain phase)."""
+        from repro.runtime import SimConfig, cholesky_tasks, simulate_tasks
+        from repro.tile import TileLayout
+        from repro.tile.decisions import TilePlan
+        from repro.tile.precision import Precision
+
+        nt = 10
+        layout = TileLayout(nt * 32, 32)
+        plan = TilePlan(
+            layout,
+            {k: Precision.FP64 for k in layout.lower_tiles()},
+            {k: False for k in layout.lower_tiles()},
+        )
+        tasks = list(cholesky_tasks(nt))
+        trace = simulate_tasks(
+            tasks, layout, plan, SimConfig(nodes=2, cores_per_node=4)
+        )
+        prof = utilization_profile(trace, buckets=10)
+        assert prof[3:6].mean() > prof[-1]
+
+    def test_empty(self):
+        prof = utilization_profile(ExecutionTrace(), buckets=5)
+        np.testing.assert_array_equal(prof, np.zeros(5))
+
+    def test_bad_buckets(self):
+        with pytest.raises(ShapeError):
+            utilization_profile(small_trace(), buckets=0)

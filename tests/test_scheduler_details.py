@@ -1,0 +1,100 @@
+"""Focused tests for scheduler priorities and remaining edges."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    build_dag,
+    cholesky_tasks,
+    panel_priorities,
+    upward_ranks,
+)
+
+
+class TestUpwardRanks:
+    def test_source_has_maximal_rank(self):
+        """POTRF(0) heads the longest chain: maximal upward rank."""
+        tasks = list(cholesky_tasks(5))
+        dag = build_dag(tasks)
+        durations = {t.uid: 1.0 for t in tasks}
+        ranks = upward_ranks(dag, durations)
+        assert ranks[tasks[0].uid] == max(ranks.values())
+
+    def test_sinks_have_own_duration(self):
+        tasks = list(cholesky_tasks(4))
+        dag = build_dag(tasks)
+        durations = {t.uid: 2.0 for t in tasks}
+        ranks = upward_ranks(dag, durations)
+        sinks = [u for u in dag.nodes if dag.out_degree(u) == 0]
+        assert sinks
+        for s in sinks:
+            assert ranks[s] == pytest.approx(2.0)
+
+    def test_rank_exceeds_successors(self):
+        tasks = list(cholesky_tasks(5))
+        dag = build_dag(tasks)
+        durations = {t.uid: 1.0 + 0.1 * (t.uid % 3) for t in tasks}
+        ranks = upward_ranks(dag, durations)
+        for u, v in dag.edges:
+            assert ranks[u] > ranks[v]
+
+    def test_equals_critical_path_at_source(self):
+        from repro.runtime import critical_path_length
+
+        tasks = list(cholesky_tasks(6))
+        dag = build_dag(tasks)
+        durations = {t.uid: float(1 + t.uid % 4) for t in tasks}
+        ranks = upward_ranks(dag, durations)
+        assert max(ranks.values()) == pytest.approx(
+            critical_path_length(dag, durations)
+        )
+
+
+class TestPanelPriorities:
+    def test_earlier_panels_preferred(self):
+        tasks = list(cholesky_tasks(4))
+        dag = build_dag(tasks)
+        prio = panel_priorities(dag)
+        k0 = [t for t in tasks if t.k == 0]
+        k2 = [t for t in tasks if t.k == 2]
+        assert min(prio[t.uid] for t in k0) > max(prio[t.uid] for t in k2)
+
+    def test_potrf_beats_gemm_within_panel(self):
+        tasks = list(cholesky_tasks(4))
+        dag = build_dag(tasks)
+        prio = panel_priorities(dag)
+        potrf0 = next(t for t in tasks if t.op == "potrf" and t.k == 0)
+        gemm0 = next(t for t in tasks if t.op == "gemm" and t.k == 0)
+        assert prio[potrf0.uid] > prio[gemm0.uid]
+
+
+class TestEnergyPrecisionScaling:
+    def test_joule_per_flop_halves_per_step(self):
+        from repro.perfmodel import A64FX_ENERGY
+        from repro.tile import Precision
+
+        j64 = A64FX_ENERGY.joule_per_flop(Precision.FP64)
+        j32 = A64FX_ENERGY.joule_per_flop(Precision.FP32)
+        j16 = A64FX_ENERGY.joule_per_flop(Precision.FP16)
+        assert j32 == pytest.approx(j64 / 2)
+        assert j16 == pytest.approx(j64 / 4)
+
+
+class TestGneitingMargins:
+    def test_temporal_margin_decreases(self, gneiting):
+        theta = np.array([1.0, 0.5, 0.8, 0.7, 0.6, 0.4])
+        u = np.linspace(0, 5, 20)
+        margin = gneiting.temporal_margin(theta, u)
+        assert margin[0] == pytest.approx(1.0)
+        assert np.all(np.diff(margin) <= 1e-12)
+
+
+class TestLikelihoodResultFloat:
+    def test_float_conversion(self, matern, theta_matern, locations_200):
+        from repro.core import loglikelihood
+
+        res = loglikelihood(
+            matern, theta_matern, locations_200, np.zeros(200) + 0.5,
+            tile_size=40, nugget=1e-8,
+        )
+        assert float(res) == res.value

@@ -1,0 +1,126 @@
+"""Tests for the empirical variogram and the MLE-iteration estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.kernels import MaternKernel
+from repro.perfmodel import (
+    A64FX,
+    PlanProfile,
+    estimate_cholesky,
+    estimate_mle_iteration,
+)
+from repro.stats import (
+    empirical_variogram,
+    theoretical_variogram,
+)
+
+
+class TestEmpiricalVariogram:
+    @pytest.fixture(scope="class")
+    def field(self):
+        from repro.data import sample_gaussian_field
+
+        gen = np.random.default_rng(7)
+        x = gen.uniform(size=(300, 2))
+        theta = np.array([1.0, 0.15, 0.5])
+        fields = sample_gaussian_field(
+            MaternKernel(), theta, x, seed=8, size=30
+        )
+        return x, theta, fields
+
+    def test_matches_theory_when_averaged(self, field):
+        """Averaged over 30 replicates, the estimator tracks the
+        theoretical curve at short/medium lags."""
+        x, theta, fields = field
+        gammas = []
+        for z in fields:
+            ev = empirical_variogram(x, z, n_bins=8)
+            gammas.append(ev.gamma)
+        mean_gamma = np.mean(gammas, axis=0)
+        ev = empirical_variogram(x, fields[0], n_bins=8)
+        theo = theoretical_variogram(MaternKernel(), theta, ev.bin_centers)
+        mask = ev.valid()
+        np.testing.assert_allclose(
+            mean_gamma[mask], theo[mask], rtol=0.3, atol=0.05
+        )
+
+    def test_monotone_theoretical(self):
+        theta = np.array([1.0, 0.2, 0.8])
+        h = np.linspace(0.0, 2.0, 30)
+        gamma = theoretical_variogram(MaternKernel(), theta, h)
+        assert gamma[0] == pytest.approx(0.0, abs=1e-12)
+        assert np.all(np.diff(gamma) >= -1e-12)
+        assert gamma[-1] <= 1.0 + 1e-12
+
+    def test_counts_sum_to_kept_pairs(self, field):
+        x, _, fields = field
+        ev = empirical_variogram(x, fields[0], n_bins=6, max_distance=0.5)
+        d = np.linalg.norm(x[:, None] - x[None, :], axis=-1)
+        iu = np.triu_indices(len(x), k=1)
+        assert ev.counts.sum() == int(np.sum(d[iu] <= 0.5))
+
+    def test_validation(self, field):
+        x, _, fields = field
+        with pytest.raises(ShapeError):
+            empirical_variogram(x, fields[0][:10])
+        with pytest.raises(ShapeError):
+            empirical_variogram(x[:1], fields[0][:1])
+        with pytest.raises(ShapeError):
+            empirical_variogram(x, fields[0], n_bins=0)
+
+    def test_nugget_shows_at_origin(self):
+        """A field with a nugget has gamma(0+) near the nugget, not 0."""
+        from repro.data import sample_gaussian_field
+        from repro.kernels import NuggetKernel
+
+        gen = np.random.default_rng(9)
+        x = gen.uniform(size=(400, 2))
+        kern = NuggetKernel(MaternKernel())
+        theta = np.array([1.0, 0.2, 1.5, 0.5])
+        fields = sample_gaussian_field(kern, theta, x, seed=10, size=20)
+        first_bins = []
+        for z in fields:
+            ev = empirical_variogram(x, z, n_bins=20)
+            first_bins.append(ev.gamma[0])
+        assert np.mean(first_bins) > 0.3  # ~ nugget 0.5, not ~ 0
+
+
+class TestMLEIterationEstimate:
+    def test_factorization_dominates_at_scale(self):
+        est = estimate_mle_iteration(
+            PlanProfile.dense_fp64(), 1_000_000, 2700, A64FX, 1024
+        )
+        assert est.factorization_fraction > 0.9
+        assert est.total_s > est.factorization.time_s
+
+    def test_components_positive(self):
+        est = estimate_mle_iteration(
+            PlanProfile.dense_fp64(), 270_000, 2700, A64FX, 64
+        )
+        assert est.generation_s > 0
+        assert est.solve_s > 0
+
+    def test_compression_doubles_generation(self):
+        dense = estimate_mle_iteration(
+            PlanProfile.dense_fp64(), 270_000, 2700, A64FX, 64,
+            compressed=False,
+        )
+        comp = estimate_mle_iteration(
+            PlanProfile.dense_fp64(), 270_000, 2700, A64FX, 64,
+            compressed=True,
+        )
+        assert comp.generation_s == pytest.approx(2 * dense.generation_s)
+
+    def test_consistent_with_cholesky_estimate(self):
+        prof = PlanProfile.dense_fp64()
+        fact = estimate_cholesky(prof, 500_000, 2700, A64FX, 256)
+        it = estimate_mle_iteration(prof, 500_000, 2700, A64FX, 256)
+        assert it.factorization.time_s == pytest.approx(fact.time_s)
+
+    def test_generation_scales_quadratically(self):
+        prof = PlanProfile.dense_fp64()
+        g1 = estimate_mle_iteration(prof, 270_000, 2700, A64FX, 64).generation_s
+        g2 = estimate_mle_iteration(prof, 540_000, 2700, A64FX, 64).generation_s
+        assert g2 / g1 == pytest.approx(4.0, rel=0.1)

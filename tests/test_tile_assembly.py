@@ -1,0 +1,158 @@
+"""Tests for tile-wise covariance assembly and the planning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tile import (
+    Precision,
+    assemble_dense,
+    build_planned_covariance,
+)
+
+
+class TestAssembleDense:
+    def test_matches_direct_covariance(self, matern, theta_matern, locations_200):
+        tm = assemble_dense(matern, theta_matern, locations_200, 48, nugget=1e-8)
+        direct = matern.covariance_matrix(theta_matern, locations_200, nugget=1e-8)
+        np.testing.assert_allclose(tm.to_dense(), direct, atol=1e-13)
+
+    def test_ragged_tiles(self, matern, theta_matern, locations_200):
+        tm = assemble_dense(matern, theta_matern, locations_200, 37)
+        assert tm.n == 200
+        assert tm.complete
+
+
+class TestPlannedDenseFP64:
+    def test_all_dense_fp64(self, tiled_cov_200):
+        mat, report = tiled_cov_200
+        counts = mat.structure_counts()
+        assert set(counts) == {"dense/FP64"}
+        assert report.plan.band_size_dense == 1
+
+    def test_global_norm_consistent(self, tiled_cov_200):
+        mat, report = tiled_cov_200
+        assert report.global_norm == pytest.approx(
+            mat.global_fro_norm(), rel=1e-10
+        )
+
+
+class TestPlannedMP:
+    def test_weak_correlation_demotes(self, matern, locations_200):
+        theta = np.array([1.0, 0.03, 0.5])
+        mat, report = build_planned_covariance(
+            matern, theta, locations_200, 40, nugget=1e-8, use_mp=True
+        )
+        counts = mat.structure_counts()
+        assert counts.get("dense/FP16", 0) + counts.get("dense/FP32", 0) > 0
+
+    def test_strong_correlation_stays_fp64(self, matern, locations_200):
+        theta = np.array([1.0, 0.3, 0.5])
+        mat, _ = build_planned_covariance(
+            matern, theta, locations_200, 40, nugget=1e-8, use_mp=True
+        )
+        counts = mat.structure_counts()
+        assert counts.get("dense/FP16", 0) == 0
+
+    def test_band_mode(self, matern, theta_matern, locations_200):
+        mat, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8,
+            use_mp=True, mp_mode="band", mp_fp64_band=2, mp_fp32_band=3,
+        )
+        plan = report.plan
+        assert plan.precision_of(1, 0) is Precision.FP64
+        assert plan.precision_of(2, 0) is Precision.FP32
+        assert plan.precision_of(4, 0) is Precision.FP16
+
+    def test_mp_reduces_memory(self, matern, locations_200):
+        theta = np.array([1.0, 0.03, 0.5])
+        dense, _ = build_planned_covariance(
+            matern, theta, locations_200, 40, nugget=1e-8
+        )
+        mp, _ = build_planned_covariance(
+            matern, theta, locations_200, 40, nugget=1e-8, use_mp=True
+        )
+        assert mp.nbytes < dense.nbytes
+
+    def test_unknown_mp_mode(self, matern, theta_matern, locations_200):
+        with pytest.raises(ConfigurationError):
+            build_planned_covariance(
+                matern, theta_matern, locations_200, 40,
+                use_mp=True, mp_mode="everything",
+            )
+
+
+class TestPlannedTLR:
+    def test_lr_tiles_created(self, matern, theta_matern, locations_200):
+        mat, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8,
+            use_tlr=True, band_size=1,
+        )
+        counts = mat.structure_counts()
+        assert any(k.startswith("lr/") for k in counts)
+        assert report.ranks  # ranks recorded
+
+    def test_compression_error_bound(self, matern, theta_matern, locations_200):
+        """||A_tlr - A||_F <= ~ tlr_tol * ||A||_F (nt * tile_tol)."""
+        tol = 1e-6
+        mat, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8,
+            use_tlr=True, tlr_tol=tol, band_size=1,
+        )
+        direct = matern.covariance_matrix(theta_matern, locations_200, nugget=1e-8)
+        err = np.linalg.norm(mat.to_dense() - direct)
+        assert err <= tol * report.global_norm * mat.nt
+
+    def test_band_forced_dense(self, matern, theta_matern, locations_200):
+        _, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8,
+            use_tlr=True, band_size=2,
+        )
+        plan = report.plan
+        for j in range(plan.nt - 1):
+            assert not plan.is_low_rank(j + 1, j)
+
+    def test_fp16_lr_promoted_to_fp32(self, matern, locations_200):
+        """LR tiles never store FP16 (Algorithm 2)."""
+        theta = np.array([1.0, 0.03, 0.5])
+        mat, _ = build_planned_covariance(
+            matern, theta, locations_200, 40, nugget=1e-8,
+            use_mp=True, use_tlr=True, band_size=1,
+        )
+        assert "lr/FP16" not in mat.structure_counts()
+
+    def test_tlr_reduces_memory(self, matern, theta_matern, locations_200):
+        dense, _ = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8
+        )
+        tlr, _ = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8,
+            use_tlr=True, band_size=1,
+        )
+        assert tlr.nbytes < dense.nbytes
+
+    def test_invalid_band_size(self, matern, theta_matern, locations_200):
+        with pytest.raises(ConfigurationError):
+            build_planned_covariance(
+                matern, theta_matern, locations_200, 40,
+                use_tlr=True, band_size=0,
+            )
+
+    def test_auto_band(self, matern, theta_matern, locations_200):
+        _, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, nugget=1e-8,
+            use_tlr=True, band_size="auto",
+        )
+        assert report.plan.band_size_dense >= 1
+
+    def test_rank_decay_with_offset(self, matern, locations_200):
+        """Morton-ordered covariance: mean rank at offset >= 2 is lower
+        than at offset 1 (the premise of the band structure)."""
+        theta = np.array([1.0, 0.1, 0.5])
+        _, report = build_planned_covariance(
+            matern, theta, locations_200, 25, nugget=1e-8,
+            use_tlr=True, band_size=1,
+        )
+        near = [r for (i, j), r in report.ranks.items() if i - j == 1]
+        far = [r for (i, j), r in report.ranks.items() if i - j >= 4]
+        assert np.mean(far) < np.mean(near)

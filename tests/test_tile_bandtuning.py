@@ -1,0 +1,104 @@
+"""Tests for Algorithm 2 (band_size_dense auto-tuning)."""
+
+import pytest
+
+from repro.perfmodel import A64FX, crossover_rank
+from repro.tile import Precision, TileLayout, autotune_band_size, subdiagonal_times
+
+
+def uniform_ranks(layout, rank):
+    return {
+        (i, j): rank for i, j in layout.lower_tiles() if i != j
+    }
+
+
+def fp64(layout):
+    return {k: Precision.FP64 for k in layout.lower_tiles()}
+
+
+@pytest.fixture(scope="module")
+def big_layout():
+    # Paper-scale tile size so the crossover regime is meaningful.
+    return TileLayout(20 * 2700, 2700)
+
+
+class TestSubdiagonalTimes:
+    def test_positive_times(self, big_layout):
+        dense_t, tlr_t = subdiagonal_times(
+            big_layout, 1, uniform_ranks(big_layout, 100), fp64(big_layout), A64FX
+        )
+        assert dense_t > 0 and tlr_t > 0
+
+    def test_low_rank_makes_tlr_cheaper(self, big_layout):
+        _, tlr_low = subdiagonal_times(
+            big_layout, 2, uniform_ranks(big_layout, 20), fp64(big_layout), A64FX
+        )
+        _, tlr_high = subdiagonal_times(
+            big_layout, 2, uniform_ranks(big_layout, 800), fp64(big_layout), A64FX
+        )
+        assert tlr_low < tlr_high
+
+    def test_gemm_count_grows_with_band(self, big_layout):
+        """Later sub-diagonals accumulate more GEMM updates per tile at
+        small offsets: dense time at offset 1 exceeds offset nt-1."""
+        ranks = uniform_ranks(big_layout, 50)
+        d1, _ = subdiagonal_times(big_layout, 1, ranks, fp64(big_layout), A64FX)
+        dlast, _ = subdiagonal_times(
+            big_layout, big_layout.nt - 1, ranks, fp64(big_layout), A64FX
+        )
+        assert d1 > dlast
+
+
+class TestAutotune:
+    def test_high_ranks_grow_band(self, big_layout):
+        """Ranks above the crossover everywhere -> dense always wins ->
+        band grows to the cap."""
+        xover = crossover_rank(2700, A64FX)
+        ranks = uniform_ranks(big_layout, min(2 * xover, 2699))
+        band = autotune_band_size(
+            big_layout, ranks, fp64(big_layout), A64FX, max_band=6
+        )
+        assert band == 6
+
+    def test_low_ranks_keep_band_small(self, big_layout):
+        ranks = uniform_ranks(big_layout, 10)
+        band = autotune_band_size(big_layout, ranks, fp64(big_layout), A64FX)
+        assert band <= 2
+
+    def test_decaying_ranks_intermediate_band(self, big_layout):
+        """Ranks decaying with offset stop the band where TLR starts
+        winning."""
+        xover = crossover_rank(2700, A64FX)
+        ranks = {}
+        for i, j in big_layout.lower_tiles():
+            if i == j:
+                continue
+            off = i - j
+            ranks[(i, j)] = max(5, int(2 * xover / off))
+        band = autotune_band_size(big_layout, ranks, fp64(big_layout), A64FX)
+        assert 1 < band < big_layout.nt
+
+    def test_fluctuation_monotone(self, big_layout):
+        """A larger fluctuation tolerance can only grow the band."""
+        xover = crossover_rank(2700, A64FX)
+        ranks = {}
+        for i, j in big_layout.lower_tiles():
+            if i != j:
+                ranks[(i, j)] = max(5, int(1.5 * xover / (i - j)))
+        bands = [
+            autotune_band_size(
+                big_layout, ranks, fp64(big_layout), A64FX, fluctuation=f
+            )
+            for f in (0.5, 1.0, 2.0)
+        ]
+        assert bands == sorted(bands)
+
+    def test_invalid_fluctuation(self, big_layout):
+        with pytest.raises(ValueError):
+            autotune_band_size(big_layout, {}, fp64(big_layout), A64FX,
+                               fluctuation=0.0)
+
+    def test_band_at_least_one(self, big_layout):
+        ranks = uniform_ranks(big_layout, 1)
+        band = autotune_band_size(big_layout, ranks, fp64(big_layout), A64FX)
+        assert band >= 1

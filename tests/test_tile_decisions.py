@@ -1,0 +1,209 @@
+"""Tests for the precision/structure decision logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.perfmodel import A64FX
+from repro.tile import (
+    DenseTile,
+    Precision,
+    TileLayout,
+    TileMatrix,
+    band_precision_map,
+    frobenius_precision_map,
+    plan_summary,
+    structure_map,
+)
+from repro.tile.decisions import TilePlan
+
+
+def make_norms(layout, decay=0.5):
+    """Tile norms decaying geometrically off the diagonal."""
+    return {
+        (i, j): decay ** (i - j) for i, j in layout.lower_tiles()
+    }
+
+
+class TestFrobeniusRule:
+    def test_diagonal_pinned_fp64(self):
+        layout = TileLayout(40, 10)
+        norms = make_norms(layout, decay=1e-6)
+        pm = frobenius_precision_map(norms, 10.0, layout.nt)
+        for k in range(layout.nt):
+            assert pm[(k, k)] is Precision.FP64
+
+    def test_small_tiles_demoted(self):
+        layout = TileLayout(40, 10)
+        norms = {key: (1.0 if key[0] == key[1] else 1e-30)
+                 for key in layout.lower_tiles()}
+        pm = frobenius_precision_map(norms, 2.0, layout.nt)
+        assert pm[(1, 0)] is Precision.FP16
+
+    def test_large_tiles_stay_fp64(self):
+        layout = TileLayout(40, 10)
+        norms = {key: 1.0 for key in layout.lower_tiles()}
+        pm = frobenius_precision_map(norms, 2.0, layout.nt)
+        assert pm[(3, 0)] is Precision.FP64
+
+    def test_threshold_formula(self):
+        """A tile exactly at the FP32 threshold must NOT be demoted
+        (strict inequality), just below must be."""
+        nt, global_norm, u_high = 4, 1.0, 1e-8
+        threshold32 = u_high * global_norm / (nt * Precision.FP32.unit_roundoff)
+        norms = {(1, 0): threshold32, (2, 0): threshold32 * 0.999,
+                 (0, 0): 1.0, (1, 1): 1.0, (2, 2): 1.0,
+                 (2, 1): 1.0, (3, 3): 1.0, (3, 0): 1.0, (3, 1): 1.0,
+                 (3, 2): 1.0}
+        pm = frobenius_precision_map(
+            norms, global_norm, nt, ladder=(Precision.FP32,), u_high=u_high
+        )
+        assert pm[(1, 0)] is Precision.FP64
+        assert pm[(2, 0)] is Precision.FP32
+
+    def test_error_bound_property(self, rng):
+        """||A_hat - A||_F <= u_high ||A||_F after demotion."""
+        n, b = 120, 20
+        gen = np.random.default_rng(5)
+        a = gen.standard_normal((n, n))
+        a = a @ a.T / n + np.eye(n)
+        # Scale off-diagonal tiles down so demotion happens.
+        layout = TileLayout(n, b)
+        for i, j in layout.lower_tiles():
+            if i != j:
+                scale = 1e-7 ** min(i - j, 2)
+                a[layout.block_slice(i), layout.block_slice(j)] *= scale
+                a[layout.block_slice(j), layout.block_slice(i)] *= scale
+        tm = TileMatrix.from_dense(a, b)
+        norms = tm.tile_norms()
+        global_norm = tm.global_fro_norm()
+        u_high = 1e-8
+        pm = frobenius_precision_map(
+            norms, global_norm, layout.nt, u_high=u_high, tile_size=b
+        )
+        demoted = TileMatrix(layout)
+        for (i, j), tile in tm.items():
+            demoted.set(i, j, tile.astype(pm[(i, j)]))
+        err = np.linalg.norm(demoted.to_dense() - a)
+        assert err <= u_high * global_norm * 1.01
+        # And demotion actually happened (the test is not vacuous).
+        assert any(p is not Precision.FP64 for p in pm.values())
+
+    def test_invalid_global_norm(self):
+        with pytest.raises(ConfigurationError):
+            frobenius_precision_map({}, -1.0, 4)
+
+    @given(u_high=st.floats(1e-12, 1e-2), decay=st.floats(0.01, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_property_monotone_in_offset(self, u_high, decay):
+        """With norms decaying off-diagonal, precision is monotone
+        non-increasing with offset."""
+        layout = TileLayout(60, 10)
+        norms = make_norms(layout, decay)
+        pm = frobenius_precision_map(norms, 10.0, layout.nt, u_high=u_high)
+        for j in range(layout.nt):
+            precisions = [int(pm[(i, j)]) for i in range(j, layout.nt)]
+            assert precisions == sorted(precisions, reverse=True)
+
+
+class TestBandRule:
+    def test_three_band_layout(self):
+        layout = TileLayout(60, 10)
+        pm = band_precision_map(layout, fp64_band=2, fp32_band=4)
+        assert pm[(0, 0)] is Precision.FP64
+        assert pm[(1, 0)] is Precision.FP64
+        assert pm[(2, 0)] is Precision.FP32
+        assert pm[(3, 0)] is Precision.FP32
+        assert pm[(4, 0)] is Precision.FP16
+
+    def test_two_precision_variant(self):
+        layout = TileLayout(40, 10)
+        pm = band_precision_map(layout, fp64_band=1)
+        assert pm[(3, 0)] is Precision.FP32
+
+    def test_invalid_bands(self):
+        layout = TileLayout(40, 10)
+        with pytest.raises(ConfigurationError):
+            band_precision_map(layout, fp64_band=0)
+        with pytest.raises(ConfigurationError):
+            band_precision_map(layout, fp64_band=3, fp32_band=2)
+
+
+class TestStructureMap:
+    def _setup(self):
+        layout = TileLayout(120, 30)
+        precisions = {k: Precision.FP64 for k in layout.lower_tiles()}
+        return layout, precisions
+
+    def test_band_forced_dense(self):
+        layout, precisions = self._setup()
+        ranks = {k: 1 for k in layout.lower_tiles() if k[0] != k[1]}
+        sm = structure_map(layout, ranks, precisions, None,
+                           band_size_dense=2, mode="rank")
+        assert not sm[(1, 0)]  # inside band
+        assert sm[(2, 0)]      # outside band, tiny rank
+
+    def test_rank_mode_threshold(self):
+        layout, precisions = self._setup()
+        ranks = {(2, 0): 14, (3, 0): 16}
+        sm = structure_map(layout, ranks, precisions, None,
+                           max_rank_fraction=0.5, mode="rank")
+        assert sm[(2, 0)]       # 14 < 15 = 0.5*30
+        assert not sm[(3, 0)]   # 16 > 15
+
+    def test_perfmodel_mode_uses_crossover(self):
+        from repro.perfmodel import crossover_rank
+
+        layout = TileLayout(4 * 2700, 2700)
+        precisions = {k: Precision.FP64 for k in layout.lower_tiles()}
+        xover = crossover_rank(2700, A64FX)
+        ranks = {(2, 0): xover - 50, (3, 0): xover + 400}
+        sm = structure_map(layout, ranks, precisions, A64FX,
+                           mode="perfmodel", max_rank_fraction=0.5)
+        assert sm[(2, 0)]
+        assert not sm[(3, 0)]
+
+    def test_perfmodel_requires_machine(self):
+        layout, precisions = self._setup()
+        with pytest.raises(ConfigurationError):
+            structure_map(layout, {}, precisions, None, mode="perfmodel")
+
+    def test_unknown_mode(self):
+        layout, precisions = self._setup()
+        with pytest.raises(ConfigurationError):
+            structure_map(layout, {}, precisions, None, mode="magic")
+
+    def test_missing_rank_means_dense(self):
+        layout, precisions = self._setup()
+        sm = structure_map(layout, {}, precisions, None, mode="rank")
+        assert not any(sm.values())
+
+
+class TestTilePlan:
+    def test_grids_and_counts(self):
+        layout = TileLayout(60, 20)
+        precisions = {k: Precision.FP64 for k in layout.lower_tiles()}
+        precisions[(2, 0)] = Precision.FP16
+        use_lr = {k: False for k in layout.lower_tiles()}
+        use_lr[(2, 0)] = True
+        plan = TilePlan(layout, precisions, use_lr)
+        grid = plan.precision_grid()
+        assert grid[2, 0] == 16
+        assert grid[0, 2] == 0  # upper not stored
+        sgrid = plan.structure_grid()
+        assert sgrid[2, 0] == 2
+        assert sgrid[1, 0] == 1
+        counts = plan.counts()
+        assert counts["lr/FP16"] == 1
+        assert counts["dense/FP64"] == 5
+
+    def test_plan_summary_memory(self):
+        layout = TileLayout(60, 20)
+        precisions = {k: Precision.FP32 for k in layout.lower_tiles()}
+        use_lr = {k: False for k in layout.lower_tiles()}
+        plan = TilePlan(layout, precisions, use_lr)
+        s = plan_summary(plan)
+        assert s["memory_reduction"] == pytest.approx(0.5)
+        assert s["bytes_dense_fp64"] == 6 * 400 * 8

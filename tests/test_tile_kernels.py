@@ -1,0 +1,223 @@
+"""Tests for the tile numerical kernels (POTRF/TRSM/SYRK/GEMM)."""
+
+import numpy as np
+import pytest
+from scipy import linalg as sla
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+from repro.tile import DenseTile, LowRankTile, Precision
+from repro.tile import kernels as K
+from repro.tile.compression import truncated_svd
+
+
+def spd(n, seed=0):
+    gen = np.random.default_rng(seed)
+    a = gen.standard_normal((n, n))
+    return a @ a.T / n + np.eye(n)
+
+
+def lr_tile(rng, m, n, rank, precision=Precision.FP64):
+    a = rng.standard_normal((m, rank)) @ rng.standard_normal((rank, n))
+    u, v, _ = truncated_svd(a, 1e-12)
+    return LowRankTile(u, v, precision), a
+
+
+class TestPotrf:
+    def test_matches_numpy(self):
+        a = spd(16)
+        low = K.potrf(DenseTile(a))
+        np.testing.assert_allclose(low.to_dense64(), np.linalg.cholesky(a), atol=1e-12)
+
+    def test_indefinite_raises_with_index(self):
+        a = -np.eye(4)
+        with pytest.raises(NotPositiveDefiniteError) as exc:
+            K.potrf(DenseTile(a), index=(3, 3))
+        assert exc.value.tile_index == (3, 3)
+
+    def test_low_rank_input_rejected(self):
+        with pytest.raises(ShapeError):
+            K.potrf(LowRankTile(np.zeros((4, 1)), np.zeros((4, 1))))
+
+    def test_fp32_storage_preserved(self):
+        low = K.potrf(DenseTile(spd(8), Precision.FP32))
+        assert low.precision is Precision.FP32
+
+
+class TestTrsm:
+    def test_dense_matches_reference(self, rng):
+        low = np.linalg.cholesky(spd(10, 1))
+        a = rng.standard_normal((10, 10))
+        out = K.trsm(DenseTile(low), DenseTile(a))
+        # A <- A L^{-T}
+        expected = sla.solve_triangular(low, a.T, lower=True).T
+        np.testing.assert_allclose(out.to_dense64(), expected, atol=1e-12)
+
+    def test_low_rank_only_touches_v(self, rng):
+        low = np.linalg.cholesky(spd(10, 2))
+        tile, dense = lr_tile(rng, 10, 10, 3)
+        out = K.trsm(DenseTile(low), tile)
+        assert isinstance(out, LowRankTile)
+        assert out.rank == 3
+        expected = sla.solve_triangular(low, dense.T, lower=True).T
+        np.testing.assert_allclose(out.to_dense64(), expected, atol=1e-10)
+
+    def test_zero_rank_passthrough(self):
+        low = DenseTile(np.eye(4))
+        tile = LowRankTile(np.zeros((4, 0)), np.zeros((4, 0)))
+        assert K.trsm(low, tile) is tile
+
+    def test_lr_triangle_rejected(self, rng):
+        tile, _ = lr_tile(rng, 4, 4, 1)
+        with pytest.raises(ShapeError):
+            K.trsm(tile, DenseTile(np.zeros((4, 4))))
+
+    def test_fp16_storage_quantizes(self, rng):
+        low = np.linalg.cholesky(spd(8, 3))
+        a = rng.standard_normal((8, 8))
+        out = K.trsm(DenseTile(low), DenseTile(a, Precision.FP16))
+        assert out.precision is Precision.FP16
+        # Values must be exactly representable in fp16.
+        d = out.to_dense64()
+        np.testing.assert_array_equal(d, d.astype(np.float16).astype(np.float64))
+
+
+class TestSyrk:
+    def test_dense(self, rng):
+        c = spd(8, 4)
+        a = rng.standard_normal((8, 8))
+        out = K.syrk(DenseTile(a), DenseTile(c))
+        np.testing.assert_allclose(out.to_dense64(), c - a @ a.T, atol=1e-12)
+
+    def test_low_rank_input(self, rng):
+        c = spd(10, 5)
+        tile, dense = lr_tile(rng, 10, 10, 2)
+        out = K.syrk(tile, DenseTile(c))
+        np.testing.assert_allclose(
+            out.to_dense64(), c - dense @ dense.T, atol=1e-10
+        )
+
+    def test_zero_rank_noop(self):
+        c = DenseTile(spd(6, 6))
+        tile = LowRankTile(np.zeros((6, 0)), np.zeros((6, 0)))
+        assert K.syrk(tile, c) is c
+
+    def test_lr_output_rejected(self, rng):
+        tile, _ = lr_tile(rng, 4, 4, 1)
+        with pytest.raises(ShapeError):
+            K.syrk(DenseTile(np.zeros((4, 4))), tile)
+
+
+class TestGemmDenseOutput:
+    def test_all_dense(self, rng):
+        a = rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6))
+        c = rng.standard_normal((6, 6))
+        out = K.gemm(DenseTile(a), DenseTile(b), DenseTile(c))
+        np.testing.assert_allclose(out.to_dense64(), c - a @ b.T, atol=1e-12)
+
+    def test_lr_a_dense_b(self, rng):
+        ta, a = lr_tile(rng, 6, 6, 2)
+        b = rng.standard_normal((6, 6))
+        c = rng.standard_normal((6, 6))
+        out = K.gemm(ta, DenseTile(b), DenseTile(c))
+        np.testing.assert_allclose(out.to_dense64(), c - a @ b.T, atol=1e-10)
+
+    def test_dense_a_lr_b(self, rng):
+        a = rng.standard_normal((6, 6))
+        tb, b = lr_tile(rng, 6, 6, 3)
+        c = rng.standard_normal((6, 6))
+        out = K.gemm(DenseTile(a), tb, DenseTile(c))
+        np.testing.assert_allclose(out.to_dense64(), c - a @ b.T, atol=1e-10)
+
+    def test_lr_lr(self, rng):
+        ta, a = lr_tile(rng, 6, 6, 2)
+        tb, b = lr_tile(rng, 6, 6, 4)
+        c = rng.standard_normal((6, 6))
+        out = K.gemm(ta, tb, DenseTile(c))
+        np.testing.assert_allclose(out.to_dense64(), c - a @ b.T, atol=1e-10)
+
+    def test_zero_rank_inputs(self, rng):
+        za = LowRankTile(np.zeros((6, 0)), np.zeros((6, 0)))
+        c = rng.standard_normal((6, 6))
+        out = K.gemm(za, za, DenseTile(c))
+        np.testing.assert_allclose(out.to_dense64(), c, atol=1e-14)
+
+
+class TestGemmLowRankOutput:
+    def test_lr_update_stays_lr(self, rng):
+        ta, a = lr_tile(rng, 8, 8, 2)
+        tb, b = lr_tile(rng, 8, 8, 2)
+        tc, c = lr_tile(rng, 8, 8, 3)
+        tol = 1e-10 * np.linalg.norm(c - a @ b.T)
+        out = K.gemm(ta, tb, tc, tol=tol, max_rank=8)
+        assert out.is_low_rank
+        np.testing.assert_allclose(
+            out.to_dense64(), c - a @ b.T,
+            atol=1e-8 * np.linalg.norm(c),
+        )
+
+    def test_dense_inputs_compressed_update(self, rng):
+        a = rng.standard_normal((8, 2)) @ rng.standard_normal((2, 8))
+        b = rng.standard_normal((8, 2)) @ rng.standard_normal((2, 8))
+        tc, c = lr_tile(rng, 8, 8, 2)
+        tol = 1e-9 * np.linalg.norm(c)
+        out = K.gemm(DenseTile(a), DenseTile(b), tc, tol=tol, max_rank=8)
+        np.testing.assert_allclose(out.to_dense64(), c - a @ b.T, atol=1e-7)
+
+    def test_rank_overflow_densifies(self, rng):
+        """When the update cannot be recompressed under max_rank the
+        tile converts to dense (the runtime's fallback)."""
+        ta = DenseTile(rng.standard_normal((8, 8)))
+        tb = DenseTile(rng.standard_normal((8, 8)))
+        tc, c = lr_tile(rng, 8, 8, 1)
+        out = K.gemm(ta, tb, tc, tol=1e-14, max_rank=2, allow_densify=True)
+        assert not out.is_low_rank
+        np.testing.assert_allclose(
+            out.to_dense64(),
+            c - ta.to_dense64() @ tb.to_dense64().T,
+            atol=1e-10,
+        )
+
+    def test_rank_overflow_raises_when_disallowed(self, rng):
+        from repro.exceptions import CompressionError
+
+        ta = DenseTile(rng.standard_normal((8, 8)))
+        tb = DenseTile(rng.standard_normal((8, 8)))
+        tc, _ = lr_tile(rng, 8, 8, 1)
+        with pytest.raises(CompressionError):
+            K.gemm(ta, tb, tc, tol=1e-14, max_rank=2, allow_densify=False)
+
+
+class TestPrecisionSemantics:
+    def test_fp32_gemm_loses_digits(self, rng):
+        """An FP32-lead GEMM must show single-precision error, i.e. the
+        conversion really happens."""
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        c = rng.standard_normal((32, 32))
+        exact = c - a @ b.T
+        out32 = K.gemm(DenseTile(a), DenseTile(b), DenseTile(c, Precision.FP32))
+        err = np.max(np.abs(out32.to_dense64() - exact))
+        assert 1e-9 < err < 1e-3
+
+    def test_fp16_with_fp32_accumulation_better_than_pure(self, rng):
+        """SHGEMM emulation (FP32 accumulate) must beat pure HGEMM."""
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        c = np.zeros((64, 64))
+        exact = -a @ b.T
+        mixed = K.gemm(
+            DenseTile(a, Precision.FP16),
+            DenseTile(b, Precision.FP16),
+            DenseTile(c, Precision.FP16),
+            fp16_accumulate_fp32=True,
+        )
+        pure = K.gemm(
+            DenseTile(a, Precision.FP16),
+            DenseTile(b, Precision.FP16),
+            DenseTile(c, Precision.FP16),
+            fp16_accumulate_fp32=False,
+        )
+        err_mixed = np.linalg.norm(mixed.to_dense64() - exact)
+        err_pure = np.linalg.norm(pure.to_dense64() - exact)
+        assert err_mixed <= err_pure

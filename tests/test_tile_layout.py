@@ -1,0 +1,78 @@
+"""Tests for TileLayout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.tile import TileLayout
+
+
+class TestTileLayout:
+    def test_even_split(self):
+        lay = TileLayout(100, 25)
+        assert lay.nt == 4
+        assert [lay.block_size(i) for i in range(4)] == [25] * 4
+
+    def test_ragged_last_block(self):
+        lay = TileLayout(100, 30)
+        assert lay.nt == 4
+        assert lay.block_size(3) == 10
+
+    def test_block_range(self):
+        lay = TileLayout(10, 4)
+        assert lay.block_range(0) == (0, 4)
+        assert lay.block_range(2) == (8, 10)
+
+    def test_tile_shape(self):
+        lay = TileLayout(10, 4)
+        assert lay.tile_shape(2, 0) == (2, 4)
+
+    def test_block_of(self):
+        lay = TileLayout(10, 4)
+        assert lay.block_of(0) == 0
+        assert lay.block_of(9) == 2
+        with pytest.raises(ShapeError):
+            lay.block_of(10)
+
+    def test_block_sizes_sum_to_n(self):
+        lay = TileLayout(103, 17)
+        assert lay.block_sizes().sum() == 103
+
+    def test_lower_tiles_count(self):
+        lay = TileLayout(50, 10)
+        tiles = lay.lower_tiles()
+        assert len(tiles) == 15
+        assert all(j <= i for i, j in tiles)
+
+    def test_tile_size_one(self):
+        lay = TileLayout(5, 1)
+        assert lay.nt == 5
+
+    def test_tile_larger_than_matrix(self):
+        lay = TileLayout(5, 100)
+        assert lay.nt == 1
+        assert lay.block_size(0) == 5
+
+    def test_invalid_args(self):
+        with pytest.raises(ShapeError):
+            TileLayout(0, 4)
+        with pytest.raises(ShapeError):
+            TileLayout(4, 0)
+
+    def test_out_of_range_block(self):
+        lay = TileLayout(10, 4)
+        with pytest.raises(ShapeError):
+            lay.block_size(3)
+
+    @given(n=st.integers(1, 500), b=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_blocks_partition(self, n, b):
+        lay = TileLayout(n, b)
+        covered = np.zeros(n, dtype=bool)
+        for i in range(lay.nt):
+            s = lay.block_slice(i)
+            assert not covered[s].any()
+            covered[s] = True
+        assert covered.all()

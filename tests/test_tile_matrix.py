@@ -1,0 +1,108 @@
+"""Tests for the TileMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tile import DenseTile, LowRankTile, Precision, TileLayout, TileMatrix
+
+
+def spd(n, seed=0):
+    gen = np.random.default_rng(seed)
+    a = gen.standard_normal((n, n))
+    return a @ a.T / n + np.eye(n)
+
+
+class TestRoundTrip:
+    def test_from_to_dense(self):
+        a = spd(37)
+        tm = TileMatrix.from_dense(a, 10)
+        np.testing.assert_allclose(tm.to_dense(), a, atol=1e-14)
+
+    def test_lower_only(self):
+        a = spd(20)
+        tm = TileMatrix.from_dense(a, 7)
+        low = tm.to_dense(lower_only=True)
+        assert np.allclose(np.triu(low, 1), 0.0)
+        np.testing.assert_allclose(np.tril(low), np.tril(a))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            TileMatrix.from_dense(np.zeros((3, 4)), 2)
+
+
+class TestAccess:
+    def test_upper_triangle_rejected(self):
+        tm = TileMatrix(TileLayout(10, 5))
+        with pytest.raises(ShapeError):
+            tm.get(0, 1)
+        with pytest.raises(ShapeError):
+            tm.set(0, 1, DenseTile(np.zeros((5, 5))))
+
+    def test_missing_tile(self):
+        tm = TileMatrix(TileLayout(10, 5))
+        with pytest.raises(ShapeError):
+            tm.get(0, 0)
+
+    def test_wrong_shape_rejected(self):
+        tm = TileMatrix(TileLayout(10, 4))
+        with pytest.raises(ShapeError):
+            tm.set(2, 2, DenseTile(np.zeros((4, 4))))  # last block is 2x2
+
+    def test_complete_flag(self):
+        tm = TileMatrix(TileLayout(8, 4))
+        assert not tm.complete
+        for i, j in tm.layout.lower_tiles():
+            tm.set(i, j, DenseTile(np.zeros(tm.layout.tile_shape(i, j))))
+        assert tm.complete
+
+
+class TestStatistics:
+    def test_nbytes_mixed(self):
+        tm = TileMatrix(TileLayout(8, 4))
+        tm.set(0, 0, DenseTile(np.zeros((4, 4)), Precision.FP64))
+        tm.set(1, 1, DenseTile(np.zeros((4, 4)), Precision.FP16))
+        tm.set(1, 0, LowRankTile(np.zeros((4, 1)), np.zeros((4, 1)), Precision.FP32))
+        assert tm.nbytes == 4 * 4 * 8 + 4 * 4 * 2 + 2 * 4 * 4
+
+    def test_dense_fp64_baseline(self):
+        a = spd(12)
+        tm = TileMatrix.from_dense(a, 4)
+        assert tm.dense_fp64_nbytes() == 6 * 16 * 8
+
+    def test_global_fro_norm_matches_dense(self):
+        a = spd(23)
+        tm = TileMatrix.from_dense(a, 6)
+        assert tm.global_fro_norm() == pytest.approx(np.linalg.norm(a), rel=1e-12)
+
+    def test_lr_tile_norm_via_gram(self, rng):
+        u = rng.standard_normal((6, 2))
+        v = rng.standard_normal((6, 2))
+        tm = TileMatrix(TileLayout(12, 6))
+        tm.set(1, 0, LowRankTile(u, v))
+        norm = tm.tile_norms()[(1, 0)]
+        assert norm == pytest.approx(np.linalg.norm(u @ v.T), rel=1e-10)
+
+    def test_structure_counts(self):
+        tm = TileMatrix(TileLayout(8, 4))
+        tm.set(0, 0, DenseTile(np.zeros((4, 4))))
+        tm.set(1, 1, DenseTile(np.zeros((4, 4))))
+        tm.set(1, 0, LowRankTile(np.zeros((4, 1)), np.zeros((4, 1)), Precision.FP32))
+        assert tm.structure_counts() == {"dense/FP64": 2, "lr/FP32": 1}
+
+    def test_max_rank(self):
+        tm = TileMatrix(TileLayout(8, 4))
+        tm.set(1, 0, LowRankTile(np.zeros((4, 3)), np.zeros((4, 3))))
+        assert tm.max_rank() == 3
+
+    def test_copy_is_deep(self):
+        a = spd(8)
+        tm = TileMatrix.from_dense(a, 4)
+        cp = tm.copy()
+        cp.get(0, 0).data[0, 0] = 999.0
+        assert tm.get(0, 0).data[0, 0] != 999.0
+
+    def test_to_dense_incomplete_raises(self):
+        tm = TileMatrix(TileLayout(8, 4))
+        with pytest.raises(ShapeError):
+            tm.to_dense()

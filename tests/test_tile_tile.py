@@ -1,0 +1,97 @@
+"""Tests for DenseTile / LowRankTile value types."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tile import DenseTile, LowRankTile, Precision
+
+
+class TestDenseTile:
+    def test_infers_precision_from_dtype(self):
+        t = DenseTile(np.zeros((3, 4), dtype=np.float32))
+        assert t.precision is Precision.FP32
+        assert t.shape == (3, 4)
+
+    def test_explicit_precision_casts(self):
+        t = DenseTile(np.ones((2, 2)), Precision.FP16)
+        assert t.data.dtype == np.float16
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            DenseTile(np.zeros(4))
+
+    def test_nbytes(self):
+        t = DenseTile(np.zeros((10, 10)), Precision.FP16)
+        assert t.nbytes == 200
+
+    def test_to_dense64_exact_upcast(self):
+        a = np.array([[1.5, 2.25]], dtype=np.float16)
+        t = DenseTile(a)
+        out = t.to_dense64()
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [[1.5, 2.25]])
+
+    def test_astype_roundtrip_fp16(self):
+        t = DenseTile(np.array([[1.0 + 2.0**-12]]))
+        t16 = t.astype(Precision.FP16)
+        t64 = t16.astype(Precision.FP64)
+        # The digits dropped by FP16 must not reappear.
+        assert float(t64.data[0, 0]) == 1.0
+
+    def test_astype_same_precision_is_self(self):
+        t = DenseTile(np.zeros((2, 2)))
+        assert t.astype(Precision.FP64) is t
+
+    def test_not_low_rank(self):
+        assert not DenseTile(np.zeros((2, 2))).is_low_rank
+
+
+class TestLowRankTile:
+    def test_shape_and_rank(self):
+        t = LowRankTile(np.zeros((6, 2)), np.zeros((5, 2)))
+        assert t.shape == (6, 5)
+        assert t.rank == 2
+        assert t.is_low_rank
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            LowRankTile(np.zeros((6, 2)), np.zeros((5, 3)))
+
+    def test_zero_rank_valid(self):
+        t = LowRankTile(np.zeros((4, 0)), np.zeros((3, 0)))
+        assert t.rank == 0
+        np.testing.assert_array_equal(t.to_dense64(), np.zeros((4, 3)))
+
+    def test_to_dense64(self, rng):
+        u = rng.standard_normal((7, 3))
+        v = rng.standard_normal((5, 3))
+        t = LowRankTile(u, v)
+        np.testing.assert_allclose(t.to_dense64(), u @ v.T)
+
+    def test_nbytes_scales_with_rank(self):
+        t2 = LowRankTile(np.zeros((10, 2)), np.zeros((10, 2)), Precision.FP32)
+        t4 = LowRankTile(np.zeros((10, 4)), np.zeros((10, 4)), Precision.FP32)
+        assert t4.nbytes == 2 * t2.nbytes
+
+    def test_smaller_than_dense_when_rank_low(self):
+        b = 32
+        dense = DenseTile(np.zeros((b, b)), Precision.FP64)
+        lr = LowRankTile(np.zeros((b, 5)), np.zeros((b, 5)), Precision.FP64)
+        assert lr.nbytes < dense.nbytes
+
+    def test_precision_cast(self, rng):
+        u = rng.standard_normal((4, 2))
+        v = rng.standard_normal((4, 2))
+        t = LowRankTile(u, v, Precision.FP32)
+        assert t.u.dtype == np.float32
+        t16 = t.astype(Precision.FP16)
+        assert t16.u.dtype == np.float16
+        assert t16.rank == 2
+
+    def test_mixed_factor_dtypes_rejected(self):
+        with pytest.raises(ShapeError):
+            LowRankTile(
+                np.zeros((4, 2), dtype=np.float32),
+                np.zeros((4, 2), dtype=np.float64),
+            )
