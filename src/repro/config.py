@@ -37,3 +37,28 @@ DEFAULT_SEED: int = 20220101
 #: Number of right-hand sides predicted per solve batch in the kriging
 #: path (keeps peak memory bounded for large test sets).
 PREDICT_BATCH: int = 4096
+
+# ----------------------------------------------------------------------
+# Resilience defaults (runtime fault model + numerical recovery ladder)
+# ----------------------------------------------------------------------
+
+#: Per-node mean time between failures, seconds.  Fugaku-class systems
+#: report a system-level MTBF of a few hours at ~150k nodes; per node
+#: that is O(10^8) s — the default keeps single-node simulations
+#: essentially failure-free unless the caller scales it down.
+DEFAULT_NODE_MTBF_S: float = 3.0e8
+
+#: Time for a crashed simulated node to rejoin (re-spawn + re-connect).
+DEFAULT_RESTART_S: float = 30.0
+
+#: Per-node filesystem/burst-buffer bandwidth used by the tile
+#: checkpoint cost model, GB/s (LLIO-class node-local storage).
+DEFAULT_CHECKPOINT_BW_GBS: float = 4.0
+
+#: Initial diagonal jitter of the numerical recovery ladder, relative
+#: to the mean diagonal magnitude of the covariance.
+DEFAULT_RECOVERY_JITTER: float = 1.0e-10
+
+#: Largest relative jitter the ladder may reach before giving up.
+DEFAULT_RECOVERY_MAX_JITTER: float = 1.0e-4
+

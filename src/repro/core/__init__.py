@@ -17,7 +17,14 @@ from .uq import (
     observed_information,
     profile_likelihood,
 )
-from .variants import DENSE_FP64, MP_DENSE, MP_DENSE_TLR, VariantConfig, get_variant
+from .variants import (
+    DENSE_FP64,
+    MP_DENSE,
+    MP_DENSE_TLR,
+    MP_DENSE_TLR_RECOVER,
+    VariantConfig,
+    get_variant,
+)
 
 __all__ = [
     "ExaGeoStatModel",
@@ -25,6 +32,7 @@ __all__ = [
     "DENSE_FP64",
     "MP_DENSE",
     "MP_DENSE_TLR",
+    "MP_DENSE_TLR_RECOVER",
     "get_variant",
     "loglikelihood",
     "loglikelihood_replicated",

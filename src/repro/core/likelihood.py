@@ -21,6 +21,7 @@ from ..kernels.base import CovarianceKernel
 from ..tile.assembly import AssemblyReport, build_planned_covariance
 from ..tile.cholesky import CholeskyStats, tile_cholesky
 from ..tile.matrix import TileMatrix
+from ..tile.recovery import RecoveryReport, factor_with_recovery
 from ..tile.solve import forward_solve, tile_logdet
 from .variants import DENSE_FP64, VariantConfig, get_variant
 
@@ -46,6 +47,9 @@ class LikelihoodResult:
     factor: TileMatrix
     report: AssemblyReport
     stats: CholeskyStats
+    #: Non-``None`` only when the variant's recovery ladder had to
+    #: rescue this evaluation from a factorization breakdown.
+    recovery: RecoveryReport | None = None
 
     def __float__(self) -> float:  # pragma: no cover - convenience
         return self.value
@@ -74,20 +78,44 @@ def loglikelihood(
 
     Raises :class:`~repro.exceptions.NotPositiveDefiniteError` when the
     covariance at ``theta`` fails to factor (MLE drivers treat that as
-    a rejected step).
+    a rejected step).  Variants with a
+    :class:`~repro.tile.recovery.RecoveryPolicy` first escalate through
+    the recovery ladder; a rescued evaluation carries the
+    :class:`~repro.tile.recovery.RecoveryReport` on ``result.recovery``
+    and only exhaustion raises (as
+    :class:`~repro.exceptions.RecoveryExhaustedError`).
     """
     cfg = get_variant(variant)
     z = _check_observations(x, z)
-    matrix, report = build_planned_covariance(
-        kernel, theta, x, tile_size, nugget=nugget, **cfg.assembly_kwargs()
-    )
     max_rank = int(cfg.max_rank_fraction * tile_size) or None
-    factor, stats = tile_cholesky(
-        matrix,
-        tile_tol=report.tile_tol,
-        max_rank=max_rank,
-        fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-    )
+    recovery: RecoveryReport | None = None
+    if cfg.recovery is not None:
+
+        def rebuild(**overrides):
+            extra = overrides.pop("extra_nugget", 0.0)
+            return build_planned_covariance(
+                kernel, theta, x, tile_size, nugget=nugget + extra,
+                **overrides, **cfg.assembly_kwargs(),
+            )
+
+        factor, stats, report, rec = factor_with_recovery(
+            rebuild,
+            policy=cfg.recovery,
+            max_rank=max_rank,
+            fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+        )
+        recovery = rec if rec.actions else None
+    else:
+        matrix, report = build_planned_covariance(
+            kernel, theta, x, tile_size, nugget=nugget,
+            **cfg.assembly_kwargs(),
+        )
+        factor, stats = tile_cholesky(
+            matrix,
+            tile_tol=report.tile_tol,
+            max_rank=max_rank,
+            fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+        )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z)
     quad = float(y @ y)
@@ -102,6 +130,7 @@ def loglikelihood(
         factor=factor,
         report=report,
         stats=stats,
+        recovery=recovery,
     )
 
 

@@ -6,11 +6,19 @@ every objective evaluation is one full tiled-Cholesky likelihood under
 the chosen compute variant, which is exactly the structure the paper
 accelerates.  Covariances that fail to factor at a trial ``theta``
 (indefinite under aggressive approximation) are treated as rejected
-steps, not crashes.
+steps, not crashes; variants with a recovery ladder
+(:mod:`repro.tile.recovery`) first try to rescue the evaluation, and
+rescued evaluations are tallied on the result.
+
+Long fits can be bounded (``max_nfev`` / ``time_budget_s`` return the
+best point seen so far, unconverged, instead of running forever) and
+checkpointed (``checkpoint_path`` persists the simplex so a crashed
+driver resumes instead of restarting).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +27,7 @@ from ..exceptions import NotPositiveDefiniteError, ParameterError
 from ..kernels.base import CovarianceKernel
 from ..optim.bounds import BoundTransform
 from ..optim.neldermead import nelder_mead
+from ..tile.recovery import RecoveryReport
 from .likelihood import loglikelihood
 from .variants import DENSE_FP64, VariantConfig, get_variant
 
@@ -37,6 +46,15 @@ class MLEResult:
     variant: str
     history: list[float] = field(default_factory=list)
     failed_evaluations: int = 0
+    #: Evaluations the numerical recovery ladder rescued from a
+    #: factorization breakdown (0 unless the variant enables recovery).
+    recovered_evaluations: int = 0
+    #: One :class:`~repro.tile.recovery.RecoveryReport` per rescue, in
+    #: evaluation order.
+    recovery_reports: list[RecoveryReport] = field(default_factory=list)
+    #: Why the fit stopped early (``"max_nfev"`` / ``"time_budget"``),
+    #: or ``None`` when the optimizer itself terminated.
+    stopped_on: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         vals = ", ".join(f"{v:.4g}" for v in self.theta)
@@ -44,6 +62,13 @@ class MLEResult:
             f"MLEResult(theta=[{vals}], loglik={self.loglik:.4f}, "
             f"nfev={self.nfev}, variant={self.variant!r})"
         )
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the evaluation budget ran out mid-optimization."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
 
 
 def fit_mle(
@@ -59,6 +84,10 @@ def fit_mle(
     fatol: float = 1.0e-5,
     xatol: float = 1.0e-4,
     initial_step: float = 0.3,
+    max_nfev: int | None = None,
+    time_budget_s: float | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 10,
 ) -> MLEResult:
     """Fit kernel parameters by maximum likelihood.
 
@@ -66,6 +95,14 @@ def fit_mle(
     rough guess to cut optimizer iterations (the accuracy benches start
     near the generating values, like the paper's warm-started
     optimization campaigns).
+
+    ``max_nfev`` / ``time_budget_s`` bound the fit: when either budget
+    runs out mid-optimization the best parameters seen so far come back
+    as an *unconverged* result with ``stopped_on`` set, instead of the
+    driver running arbitrarily long.  ``checkpoint_path`` persists the
+    optimizer state every ``checkpoint_every`` iterations and resumes
+    from an existing file (see
+    :func:`~repro.optim.neldermead.nelder_mead`).
     """
     cfg = get_variant(variant)
     transform = BoundTransform.from_specs(kernel.param_specs)
@@ -75,9 +112,19 @@ def fit_mle(
     u0 = transform.to_unconstrained(theta0)
 
     failures = 0
+    nfev = 0
+    recoveries: list[RecoveryReport] = []
+    best: tuple[float, np.ndarray] | None = None
+    best_history: list[float] = []
+    t0 = time.monotonic()
 
     def objective(u: np.ndarray) -> float:
-        nonlocal failures
+        nonlocal failures, nfev, best
+        if max_nfev is not None and nfev >= max_nfev:
+            raise _BudgetExhausted("max_nfev")
+        if time_budget_s is not None and time.monotonic() - t0 >= time_budget_s:
+            raise _BudgetExhausted("time_budget")
+        nfev += 1
         theta = transform.to_constrained(u)
         try:
             result = loglikelihood(
@@ -85,29 +132,59 @@ def fit_mle(
                 tile_size=tile_size, variant=cfg, nugget=nugget,
             )
         except (NotPositiveDefiniteError, ParameterError):
+            # RecoveryExhaustedError lands here too: an indefinite
+            # covariance the ladder could not rescue is still just a
+            # rejected optimizer step.
             failures += 1
             return np.inf
+        if result.recovery is not None:
+            recoveries.append(result.recovery)
         if not np.isfinite(result.value):
             failures += 1
             return np.inf
-        return -result.value
+        value = -result.value
+        if best is None or value < best[0]:
+            best = (value, np.array(u, dtype=np.float64))
+        best_history.append(best[0])
+        return value
 
-    opt = nelder_mead(
-        objective,
-        u0,
-        initial_step=initial_step,
-        max_iter=max_iter,
-        fatol=fatol,
-        xatol=xatol,
-    )
-    theta_hat = transform.to_constrained(opt.x)
+    stopped_on: str | None = None
+    try:
+        opt = nelder_mead(
+            objective,
+            u0,
+            initial_step=initial_step,
+            max_iter=max_iter,
+            fatol=fatol,
+            xatol=xatol,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        u_hat, fun = opt.x, opt.fun
+        nit, converged = opt.nit, opt.converged
+        history = [-v for v in opt.history]
+    except _BudgetExhausted as stop:
+        if best is None:
+            raise ParameterError(
+                f"evaluation budget ({stop.reason}) exhausted before any "
+                "successful likelihood evaluation"
+            ) from None
+        stopped_on = stop.reason
+        fun, u_hat = best
+        nit, converged = 0, False
+        history = [-v for v in best_history]
+
+    theta_hat = transform.to_constrained(u_hat)
     return MLEResult(
         theta=theta_hat,
-        loglik=-opt.fun,
-        nfev=opt.nfev,
-        nit=opt.nit,
-        converged=opt.converged,
+        loglik=-fun,
+        nfev=nfev,
+        nit=nit,
+        converged=converged,
         variant=cfg.name,
-        history=[-v for v in opt.history],
+        history=history,
         failed_evaluations=failures,
+        recovered_evaluations=len(recoveries),
+        recovery_reports=recoveries,
+        stopped_on=stopped_on,
     )

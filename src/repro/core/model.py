@@ -237,4 +237,10 @@ class ExaGeoStatModel:
         if self.result_ is not None:
             out["nfev"] = self.result_.nfev
             out["converged"] = self.result_.converged
+            if self.result_.recovered_evaluations:
+                out["recovered_evaluations"] = (
+                    self.result_.recovered_evaluations
+                )
+            if self.result_.stopped_on is not None:
+                out["stopped_on"] = self.result_.stopped_on
         return out

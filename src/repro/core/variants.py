@@ -20,8 +20,16 @@ from dataclasses import dataclass, field, replace
 from ..config import DEFAULT_MAX_RANK_FRACTION, DEFAULT_TLR_TOLERANCE
 from ..exceptions import ConfigurationError
 from ..perfmodel.machine import A64FX, MachineSpec
+from ..tile.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 
-__all__ = ["VariantConfig", "DENSE_FP64", "MP_DENSE", "MP_DENSE_TLR", "get_variant"]
+__all__ = [
+    "VariantConfig",
+    "DENSE_FP64",
+    "MP_DENSE",
+    "MP_DENSE_TLR",
+    "MP_DENSE_TLR_RECOVER",
+    "get_variant",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +40,10 @@ class VariantConfig:
     ``structure_mode`` chooses between the paper's performance-model
     decision (meaningful at production tile sizes) and the
     scale-independent rank criterion used for laptop-size numerics.
+    ``recovery`` (a :class:`~repro.tile.recovery.RecoveryPolicy`)
+    enables the numerical recovery ladder: instead of failing on an
+    indefinite planned covariance, the likelihood retries with
+    escalating precision/structure promotion and bounded jitter.
     """
 
     name: str
@@ -48,6 +60,7 @@ class VariantConfig:
     fp16_accumulate_fp32: bool = True
     shgemm_mode: str = "sgemm_fallback"
     machine: MachineSpec = field(default=A64FX)
+    recovery: RecoveryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.mp_mode not in ("adaptive", "band"):
@@ -89,10 +102,15 @@ MP_DENSE = VariantConfig(name="mp-dense", use_mp=True)
 MP_DENSE_TLR = VariantConfig(
     name="mp-dense-tlr", use_mp=True, use_tlr=True, band_size=2
 )
+#: The headline variant hardened with the full recovery ladder — what a
+#: production MLE driver should run.
+MP_DENSE_TLR_RECOVER = MP_DENSE_TLR.with_(
+    name="mp-dense-tlr-recover", recovery=DEFAULT_RECOVERY
+)
 
 _REGISTRY = {
     v.name: v
-    for v in (DENSE_FP64, MP_DENSE, MP_DENSE_TLR)
+    for v in (DENSE_FP64, MP_DENSE, MP_DENSE_TLR, MP_DENSE_TLR_RECOVER)
 }
 _ALIASES = {
     "dense_fp64": "dense-fp64",
@@ -101,6 +119,9 @@ _ALIASES = {
     "mp": "mp-dense",
     "mp_dense_tlr": "mp-dense-tlr",
     "tlr": "mp-dense-tlr",
+    "mp_dense_tlr_recover": "mp-dense-tlr-recover",
+    "tlr-recover": "mp-dense-tlr-recover",
+    "tlr_recover": "mp-dense-tlr-recover",
 }
 
 

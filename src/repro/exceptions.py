@@ -3,6 +3,31 @@
 All library-raised errors derive from :class:`ReproError` so downstream
 users can catch the package's failures with a single ``except`` clause
 while still letting programming errors (``TypeError`` etc.) propagate.
+
+Hierarchy::
+
+    ReproError
+    ├── ParameterError(ValueError)        bad covariance/model parameters
+    ├── ShapeError(ValueError)            incompatible array shapes
+    ├── NotPositiveDefiniteError(ArithmeticError)
+    │   └── RecoveryExhaustedError        the numerical recovery ladder
+    │                                     (tile/recovery.py) ran out of
+    │                                     escalation steps
+    ├── CompressionError(ArithmeticError) low-rank tolerance unreachable
+    ├── SchedulingError(RuntimeError)     inconsistent task DAG/schedule
+    ├── TaskFailedError(RuntimeError)     a simulated task exceeded its
+    │                                     transient-failure retry budget
+    ├── OptimizationError(RuntimeError)   optimizer hard failure
+    └── ConfigurationError(ValueError)    inconsistent variant/runtime config
+
+``ConvergenceWarning`` is a :class:`UserWarning`, not an error: an
+optimizer that stops early still returns a valid result.
+
+:class:`RecoveryExhaustedError` deliberately *is a*
+:class:`NotPositiveDefiniteError`: callers that treat indefinite trial
+covariances as rejected optimizer steps (``except
+NotPositiveDefiniteError``) keep working unchanged when the recovery
+ladder is enabled but fails to rescue a factorization.
 """
 
 from __future__ import annotations
@@ -38,6 +63,30 @@ class NotPositiveDefiniteError(ReproError, ArithmeticError):
         self.tile_index = tile_index
 
 
+class RecoveryExhaustedError(NotPositiveDefiniteError):
+    """The numerical recovery ladder (:mod:`repro.tile.recovery`) tried
+    every escalation step and the factorization still broke down.
+
+    Attributes
+    ----------
+    tile_index:
+        Diagonal tile of the *last* breakdown.
+    report:
+        The :class:`~repro.tile.recovery.RecoveryReport` accumulated up
+        to the point of exhaustion (every step attempted), for
+        diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tile_index: tuple[int, int] | None = None,
+        report=None,
+    ):
+        super().__init__(message, tile_index)
+        self.report = report
+
+
 class CompressionError(ReproError, ArithmeticError):
     """Low-rank compression could not reach the requested tolerance
     within the allowed maximum rank."""
@@ -45,6 +94,24 @@ class CompressionError(ReproError, ArithmeticError):
 
 class SchedulingError(ReproError, RuntimeError):
     """The task DAG is inconsistent (cycle, missing producer, ...)."""
+
+
+class TaskFailedError(ReproError, RuntimeError):
+    """A simulated task kept failing transiently past its retry budget
+    (:class:`~repro.runtime.faults.FaultModel.max_task_retries`).
+
+    Attributes
+    ----------
+    uid:
+        The task's uid in the DAG, or ``None`` when unknown.
+    attempts:
+        Number of attempts made before giving up.
+    """
+
+    def __init__(self, message: str, uid: int | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.uid = uid
+        self.attempts = attempts
 
 
 class ConvergenceWarning(UserWarning):

@@ -5,10 +5,13 @@
 * :func:`~repro.optim.pso.particle_swarm` — the paper's weak-scaling
   parallel optimizer (Section VI-D);
 * :class:`~repro.optim.bounds.BoundTransform` — maps kernel parameter
-  boxes to the optimizers' unconstrained/box spaces.
+  boxes to the optimizers' unconstrained/box spaces;
+* :mod:`~repro.optim.checkpoint` — JSON checkpoint/resume of optimizer
+  state, so crashed fits continue instead of restarting.
 """
 
 from .bounds import BoundTransform
+from .checkpoint import load_checkpoint, save_checkpoint
 from .neldermead import NelderMeadResult, nelder_mead
 from .pso import PSOResult, particle_swarm
 
@@ -18,4 +21,6 @@ __all__ = [
     "NelderMeadResult",
     "particle_swarm",
     "PSOResult",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

@@ -15,7 +15,11 @@ from typing import Callable
 
 import numpy as np
 
+from .checkpoint import load_checkpoint, save_checkpoint
+
 __all__ = ["NelderMeadResult", "nelder_mead"]
+
+_CHECKPOINT_KIND = "nelder-mead"
 
 
 @dataclass
@@ -39,12 +43,21 @@ def nelder_mead(
     fatol: float = 1.0e-6,
     xatol: float = 1.0e-6,
     adaptive: bool = True,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 10,
 ) -> NelderMeadResult:
     """Minimize ``fn`` from ``x0`` with a Nelder-Mead simplex.
 
     ``fn`` may return ``inf`` (rejected point); the simplex shrinks
     away from such points naturally.  Convergence when both the
     function spread and the simplex diameter drop below the tolerances.
+
+    ``checkpoint_path`` enables crash recovery: every
+    ``checkpoint_every`` iterations the full simplex state is written
+    (see :mod:`repro.optim.checkpoint`), and when the file already
+    exists the run *resumes* from it — ``x0``/``initial_step`` are
+    ignored — continuing bit-identically with the same ``fn``.  Delete
+    the file to start fresh.
     """
     x0 = np.asarray(x0, dtype=np.float64).ravel()
     ndim = x0.shape[0]
@@ -56,12 +69,6 @@ def nelder_mead(
     else:
         alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
 
-    # Initial simplex: x0 plus one step along each axis.
-    simplex = np.tile(x0, (ndim + 1, 1))
-    for k in range(ndim):
-        step = initial_step if x0[k] == 0.0 else initial_step * max(abs(x0[k]), 1.0)
-        simplex[k + 1, k] += step
-
     nfev = 0
 
     def evaluate(x: np.ndarray) -> float:
@@ -70,17 +77,56 @@ def nelder_mead(
         value = float(fn(x))
         return value if np.isfinite(value) or value == np.inf else np.inf
 
-    values = np.array([evaluate(v) for v in simplex])
-    history: list[float] = []
+    saved = (
+        load_checkpoint(checkpoint_path, kind=_CHECKPOINT_KIND)
+        if checkpoint_path
+        else None
+    )
+    if saved is not None:
+        simplex = np.asarray(saved["simplex"], dtype=np.float64)
+        values = np.asarray(saved["values"], dtype=np.float64)
+        nfev = int(saved["nfev"])
+        history = [float(v) for v in saved["history"]]
+        start_it = int(saved["it"])
+    else:
+        # Initial simplex: x0 plus one step along each axis.
+        simplex = np.tile(x0, (ndim + 1, 1))
+        for k in range(ndim):
+            step = (
+                initial_step
+                if x0[k] == 0.0
+                else initial_step * max(abs(x0[k]), 1.0)
+            )
+            simplex[k + 1, k] += step
+        values = np.array([evaluate(v) for v in simplex])
+        history = []
+        start_it = 1
+
     converged = False
-    it = 0
-    for it in range(1, max_iter + 1):
+    it = start_it - 1
+    for it in range(start_it, max_iter + 1):
+        if checkpoint_path and (it - start_it) % checkpoint_every == 0:
+            # State *before* this iteration: resuming re-runs it intact.
+            save_checkpoint(
+                checkpoint_path,
+                kind=_CHECKPOINT_KIND,
+                state={
+                    "it": it,
+                    "simplex": simplex,
+                    "values": values,
+                    "nfev": nfev,
+                    "history": history,
+                },
+            )
         order = np.argsort(values, kind="stable")
         simplex = simplex[order]
         values = values[order]
         history.append(values[0])
 
-        f_spread = values[-1] - values[0]
+        # All-inf simplexes (every point rejected) have no spread.
+        f_spread = (
+            values[-1] - values[0] if np.isfinite(values[-1]) else np.inf
+        )
         x_spread = np.max(np.abs(simplex[1:] - simplex[0]))
         if f_spread <= fatol and x_spread <= xatol:
             converged = True

@@ -17,7 +17,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .checkpoint import (
+    load_checkpoint,
+    rng_from_json,
+    rng_state_to_json,
+    save_checkpoint,
+)
+
 __all__ = ["PSOResult", "particle_swarm"]
+
+_CHECKPOINT_KIND = "pso"
 
 
 @dataclass
@@ -44,6 +53,8 @@ def particle_swarm(
     tol: float = 1.0e-8,
     patience: int = 10,
     seed: int | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 10,
 ) -> PSOResult:
     """Global-best PSO minimizing over a box.
 
@@ -51,29 +62,79 @@ def particle_swarm(
     objective value per particle (``inf`` allowed).  Stops early when
     the global best has not improved by ``tol`` for ``patience``
     iterations.
+
+    ``checkpoint_path`` enables crash recovery: every
+    ``checkpoint_every`` iterations the full swarm state — positions,
+    velocities, per-particle bests, and the exact bit-generator state —
+    is written (see :mod:`repro.optim.checkpoint`), and when the file
+    already exists the run *resumes* from it (``seed`` is ignored),
+    continuing bit-identically with the same ``evaluate_batch``.
+    Delete the file to start fresh.
     """
-    rng = np.random.default_rng(seed)
     lo = np.array([b[0] for b in bounds], dtype=np.float64)
     hi = np.array([b[1] for b in bounds], dtype=np.float64)
     if np.any(hi <= lo):
         raise ValueError("each bound must satisfy lo < hi")
     ndim = lo.shape[0]
 
-    pos = lo + (hi - lo) * rng.random((n_particles, ndim))
-    vel = 0.1 * (hi - lo) * (rng.random((n_particles, ndim)) - 0.5)
+    saved = (
+        load_checkpoint(checkpoint_path, kind=_CHECKPOINT_KIND)
+        if checkpoint_path
+        else None
+    )
+    if saved is not None:
+        rng = rng_from_json(saved["rng"])
+        pos = np.asarray(saved["pos"], dtype=np.float64)
+        vel = np.asarray(saved["vel"], dtype=np.float64)
+        best_pos = np.asarray(saved["best_pos"], dtype=np.float64)
+        best_val = np.asarray(saved["best_val"], dtype=np.float64)
+        g_pos = np.asarray(saved["g_pos"], dtype=np.float64)
+        g_val = float(saved["g_val"])
+        nfev = int(saved["nfev"])
+        history = [float(v) for v in saved["history"]]
+        batch_sizes = [int(b) for b in saved["batch_sizes"]]
+        stall = int(saved["stall"])
+        start_it = int(saved["it"])
+        n_particles = pos.shape[0]  # the saved swarm wins
+    else:
+        rng = np.random.default_rng(seed)
+        pos = lo + (hi - lo) * rng.random((n_particles, ndim))
+        vel = 0.1 * (hi - lo) * (rng.random((n_particles, ndim)) - 0.5)
 
-    values = np.asarray(evaluate_batch(pos), dtype=np.float64)
-    nfev = n_particles
-    best_pos = pos.copy()
-    best_val = values.copy()
-    g = int(np.argmin(best_val))
-    g_pos, g_val = best_pos[g].copy(), float(best_val[g])
+        values = np.asarray(evaluate_batch(pos), dtype=np.float64)
+        nfev = n_particles
+        best_pos = pos.copy()
+        best_val = values.copy()
+        g = int(np.argmin(best_val))
+        g_pos, g_val = best_pos[g].copy(), float(best_val[g])
 
-    history = [g_val]
-    batch_sizes = [n_particles]
-    stall = 0
-    it = 0
-    for it in range(1, max_iter + 1):
+        history = [g_val]
+        batch_sizes = [n_particles]
+        stall = 0
+        start_it = 1
+
+    it = start_it - 1
+    for it in range(start_it, max_iter + 1):
+        if checkpoint_path and (it - start_it) % checkpoint_every == 0:
+            # State *before* this iteration: resuming re-runs it intact.
+            save_checkpoint(
+                checkpoint_path,
+                kind=_CHECKPOINT_KIND,
+                state={
+                    "it": it,
+                    "pos": pos,
+                    "vel": vel,
+                    "best_pos": best_pos,
+                    "best_val": best_val,
+                    "g_pos": g_pos,
+                    "g_val": g_val,
+                    "nfev": nfev,
+                    "history": history,
+                    "batch_sizes": batch_sizes,
+                    "stall": stall,
+                    "rng": rng_state_to_json(rng),
+                },
+            )
         r1 = rng.random((n_particles, ndim))
         r2 = rng.random((n_particles, ndim))
         vel = (

@@ -9,12 +9,22 @@ A64FX nodes, Shaheen II's Haswell nodes).  It supplies:
   used by the structure-aware decision (Algorithm 2) and by the
   discrete-event scaling simulator;
 * the dense/TLR crossover analysis of Fig. 5
-  (:mod:`repro.perfmodel.crossover`).
+  (:mod:`repro.perfmodel.crossover`);
+* checkpoint/restart cost modeling with the Young/Daly optimal
+  interval (:mod:`repro.perfmodel.resilience`), feeding the fault-aware
+  simulator.
 """
 
 from .cholesky import ScaleEstimate, estimate_cholesky, project_classes
 from .energy import A64FX_ENERGY, EnergyModel, estimate_energy, task_energy
 from .feasibility import max_feasible_n, storage_per_node
+from .resilience import (
+    application_mtbf,
+    checkpoint_cost_s,
+    daly_interval,
+    expected_waste,
+    young_interval,
+)
 from .iteration import MLEIterationEstimate, estimate_mle_iteration
 from .crossover import (
     crossover_rank,
@@ -46,6 +56,11 @@ __all__ = [
     "estimate_energy",
     "max_feasible_n",
     "storage_per_node",
+    "checkpoint_cost_s",
+    "young_interval",
+    "daly_interval",
+    "application_mtbf",
+    "expected_waste",
     "MLEIterationEstimate",
     "estimate_mle_iteration",
     "estimate_cholesky",

@@ -11,13 +11,16 @@ Components:
 * :mod:`~repro.runtime.simulator` — discrete-event distributed
   simulation (time), the documented stand-in for Fugaku;
 * :mod:`~repro.runtime.comm` / :mod:`~repro.runtime.trace` —
-  wire-format volume model and execution traces.
+  wire-format volume model and execution traces;
+* :mod:`~repro.runtime.faults` — seeded MTBF fault injection and
+  checkpoint/restart modeling for the simulator.
 """
 
 from .comm import conversion_count, plan_wire_bytes, tile_wire_bytes
 from .dag import build_dag, critical_path_length, validate_schedule
 from .distribution import BlockCyclic2D, square_process_grid
 from .engine import execute_cholesky_tasks, execute_forward_solve_tasks
+from .faults import CheckpointConfig, CrashTimes, FaultModel
 from .gantt import render_gantt, utilization_profile
 from .parallel import ParallelRunReport, execute_cholesky_parallel
 from .scheduler import panel_priorities, upward_ranks
@@ -45,6 +48,9 @@ __all__ = [
     "execute_cholesky_parallel",
     "ParallelRunReport",
     "utilization_profile",
+    "FaultModel",
+    "CheckpointConfig",
+    "CrashTimes",
     "SimConfig",
     "simulate_tasks",
     "shape_for_task",

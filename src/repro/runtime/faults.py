@@ -1,0 +1,180 @@
+"""Failure injection for the discrete-event simulator.
+
+At 48,384 nodes the paper's machine is not failure-free, yet the
+simulator (like the paper's runs) modeled one.  This module adds a
+seeded, MTBF-parameterized :class:`FaultModel` covering the two failure
+classes a task runtime sees:
+
+* **node crashes** — Poisson per node with mean :attr:`node_mtbf_s`;
+  a crash destroys the node's in-memory tiles, so work completed since
+  the node's last durable checkpoint must be re-executed (lost-tile
+  recovery), plus a fixed :attr:`restart_s` re-spawn delay;
+* **transient task failures** — each task attempt independently fails
+  with probability :attr:`transient_prob` (soft errors, killed
+  processes), wasting a random fraction of the task's duration before
+  the runtime re-executes it; more than :attr:`max_task_retries`
+  consecutive failures raise
+  :class:`~repro.exceptions.TaskFailedError`.
+
+Determinism: every draw is keyed by ``(seed, stream, node-or-uid)``
+through :class:`numpy.random.SeedSequence` spawn keys, so the failure
+schedule is a pure function of the seed and the task set — independent
+of scheduling order.  Same seed in, bit-identical makespan out, which
+is what the resilience tests pin.
+
+:class:`CheckpointConfig` describes the periodic coordinated tile
+checkpoint the simulator charges against the fault model; its
+:meth:`CheckpointConfig.tuned` constructor picks the Young/Daly optimal
+interval from :mod:`repro.perfmodel.resilience`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_CHECKPOINT_BW_GBS,
+    DEFAULT_NODE_MTBF_S,
+    DEFAULT_RESTART_S,
+)
+from ..exceptions import ConfigurationError, TaskFailedError
+from ..perfmodel.resilience import checkpoint_cost_s, daly_interval
+
+__all__ = ["FaultModel", "CheckpointConfig", "CrashTimes"]
+
+# SeedSequence spawn-key stream tags (crash times vs transient draws).
+_STREAM_CRASH = 1
+_STREAM_TRANSIENT = 2
+
+
+class CrashTimes:
+    """Lazy per-node crash-time generator (exponential inter-arrivals).
+
+    ``next_after(t)`` returns the first crash strictly after time ``t``,
+    extending the sampled sequence on demand; the sequence for a given
+    ``(seed, node)`` never depends on how far other nodes were queried.
+    """
+
+    def __init__(self, seed: int, node: int, mtbf_s: float):
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(_STREAM_CRASH, node))
+        )
+        self._mtbf = mtbf_s
+        self._times: list[float] = []
+
+    def _extend_past(self, t: float) -> None:
+        last = self._times[-1] if self._times else 0.0
+        while last <= t:
+            last += float(self._rng.exponential(self._mtbf))
+            self._times.append(last)
+
+    def next_after(self, t: float) -> float:
+        if not math.isfinite(self._mtbf):
+            return math.inf
+        self._extend_past(t)
+        for crash in self._times:
+            if crash > t:
+                return crash
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Seeded failure-injection parameters for one simulated run.
+
+    ``node_mtbf_s=math.inf`` disables crashes; ``transient_prob=0``
+    disables transient task failures.  The default MTBF is the
+    per-*node* value — at ``P`` nodes the application-level MTBF the
+    run experiences is ``node_mtbf_s / P``.
+    """
+
+    node_mtbf_s: float = DEFAULT_NODE_MTBF_S
+    transient_prob: float = 0.0
+    restart_s: float = DEFAULT_RESTART_S
+    max_task_retries: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_s <= 0:
+            raise ConfigurationError("node_mtbf_s must be positive")
+        if not 0.0 <= self.transient_prob < 1.0:
+            raise ConfigurationError("transient_prob must be in [0, 1)")
+        if self.restart_s < 0:
+            raise ConfigurationError("restart_s must be >= 0")
+        if self.max_task_retries < 0:
+            raise ConfigurationError("max_task_retries must be >= 0")
+
+    # ------------------------------------------------------------------
+    def crash_times(self, node: int) -> CrashTimes:
+        """The node's deterministic crash-time stream."""
+        return CrashTimes(self.seed, node, self.node_mtbf_s)
+
+    def task_waste_fractions(self, uid: int) -> tuple[float, ...]:
+        """Wasted-duration fractions of the failed attempts of task
+        ``uid`` (empty when the first attempt succeeds).
+
+        Each attempt fails independently with :attr:`transient_prob`,
+        losing a uniform fraction of the task's duration.  Raises
+        :class:`~repro.exceptions.TaskFailedError` when the retry
+        budget is exhausted.
+        """
+        if self.transient_prob == 0.0:
+            return ()
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(_STREAM_TRANSIENT, uid))
+        )
+        wasted: list[float] = []
+        while float(rng.random()) < self.transient_prob:
+            if len(wasted) >= self.max_task_retries:
+                raise TaskFailedError(
+                    f"task {uid} failed {len(wasted) + 1} times "
+                    f"(retry budget {self.max_task_retries})",
+                    uid=uid,
+                    attempts=len(wasted) + 1,
+                )
+            wasted.append(float(rng.random()))
+        return tuple(wasted)
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic coordinated tile checkpoint charged by the simulator.
+
+    Every ``interval_s`` of wall-clock time each node writes its
+    resident tile state (``cost_s`` per checkpoint) and its durable
+    state advances; a subsequent crash only re-executes work since the
+    last completed checkpoint instead of since time zero.
+    """
+
+    interval_s: float
+    cost_s: float
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError("checkpoint interval must be positive")
+        if self.cost_s < 0:
+            raise ConfigurationError("checkpoint cost must be >= 0")
+
+    @classmethod
+    def tuned(
+        cls,
+        nbytes_per_node: float,
+        *,
+        nodes: int,
+        node_mtbf_s: float = DEFAULT_NODE_MTBF_S,
+        restart_s: float = DEFAULT_RESTART_S,
+        io_bw_gbs: float = DEFAULT_CHECKPOINT_BW_GBS,
+    ) -> "CheckpointConfig":
+        """Young/Daly-optimal configuration for a node footprint.
+
+        ``nbytes_per_node`` is the planned tile storage per node (e.g.
+        ``matrix.nbytes / nodes``); the interval is Daly's optimum at
+        the *application-level* MTBF ``node_mtbf_s / nodes``.
+        """
+        cost = checkpoint_cost_s(nbytes_per_node, io_bw_gbs)
+        mtbf = node_mtbf_s / max(nodes, 1)
+        interval = daly_interval(cost, mtbf, restart_s)
+        return cls(interval_s=max(interval, cost, 1e-12), cost_s=cost)

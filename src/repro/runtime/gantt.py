@@ -3,6 +3,9 @@
 A terminal Gantt chart (one row per node, time bucketed into columns,
 glyph = dominant kernel in the bucket) plus a utilization profile —
 the runtime-behavior visuals of a trace without a plotting stack.
+Resilience events from the fault-aware simulator render as their own
+glyphs (``C`` = checkpoint write, ``R`` = crash recovery), so failure
+stalls are visible directly in the chart.
 """
 
 from __future__ import annotations
@@ -14,7 +17,15 @@ from .trace import ExecutionTrace
 
 __all__ = ["render_gantt", "utilization_profile"]
 
-_OP_GLYPH = {"potrf": "P", "trsm": "T", "syrk": "S", "gemm": "G"}
+_OP_GLYPH = {
+    "potrf": "P",
+    "trsm": "T",
+    "syrk": "S",
+    "gemm": "G",
+    # Resilience events of the fault-aware simulator.
+    "ckpt": "C",
+    "recover": "R",
+}
 
 
 def render_gantt(

@@ -10,16 +10,42 @@ substitution for Fugaku: identical DAG, modeled hardware.
 Scheduling is priority list scheduling (upward rank by default), which
 is how PaRSEC's locality-aware heuristics behave to first order.  The
 resulting schedule is validated against the DAG by the test suite.
+
+Fault-tolerant execution
+------------------------
+
+With ``SimConfig.faults`` set (a seeded
+:class:`~repro.runtime.faults.FaultModel`), the simulator injects node
+crashes and transient task failures and charges their recovery:
+
+* a *transient* task failure wastes a random fraction of the task's
+  duration and re-executes it in place (``TaskRecord.attempts > 1``);
+* a *node crash* destroys the node's volatile tiles: every core of the
+  node stalls for the restart delay plus re-execution of all compute
+  completed on that node since its last durable checkpoint (lost-tile
+  recovery), recorded as a ``kind="recovery"`` trace record.
+
+``SimConfig.checkpoint`` adds periodic coordinated tile checkpoints
+(``kind="checkpoint"`` records): each node pays the write cost when its
+timeline crosses a checkpoint epoch, and crashes then only lose work
+since the last epoch.  Two documented simplifications keep the model
+tractable: tasks on *sibling* cores whose records already ended after
+the crash instant are treated as surviving (optimistic, since their
+output tiles are re-derived by the charged re-execution), and a
+mid-task checkpoint preserves the in-flight task's inputs but not its
+partial progress.  With ``faults=None`` and ``checkpoint=None`` the
+schedule is bit-identical to the fault-free simulator.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 import networkx as nx
 
-from ..exceptions import SchedulingError
+from ..exceptions import ConfigurationError, SchedulingError
 from ..perfmodel.kernelmodel import TaskShape, task_flops, task_time
 from ..perfmodel.machine import A64FX, MachineSpec
 from ..tile.layout import TileLayout
@@ -27,6 +53,7 @@ from ..tile.precision import Precision
 from .comm import tile_wire_bytes
 from .dag import build_dag
 from .distribution import BlockCyclic2D
+from .faults import CheckpointConfig, FaultModel
 from .scheduler import panel_priorities, upward_ranks
 from .task import Task
 from .trace import ExecutionTrace, TaskRecord
@@ -91,6 +118,8 @@ class SimConfig:
     shgemm_mode: str = "sgemm_fallback"
     priority: str = "upward"  # or "panel"
     model_comm: bool = True
+    faults: FaultModel | None = None
+    checkpoint: CheckpointConfig | None = None
     extras: dict = field(default_factory=dict)
 
     def resolved_grid(self) -> BlockCyclic2D:
@@ -157,12 +186,42 @@ def simulate_tasks(
     ]
     heapq.heapify(ready)
 
-    core_free: list[list[float]] = [[0.0] * cores for _ in range(config.nodes)]
+    # Per-node min-heaps of (available_time, core_index): popping yields
+    # the earliest-free core *and* its identity for the trace record.
+    core_free: list[list[tuple[float, int]]] = [
+        [(0.0, c) for c in range(cores)] for _ in range(config.nodes)
+    ]
     for heap in core_free:
         heapq.heapify(heap)
     finish: dict[int, float] = {}
     node_of: dict[int, int] = {}
     trace = ExecutionTrace(nodes=config.nodes, cores_per_node=cores)
+
+    faults = config.faults
+    checkpoint = config.checkpoint
+    resilient = faults is not None or checkpoint is not None
+    if faults is not None and faults.restart_s >= faults.node_mtbf_s:
+        # A node expects to crash again before its restart completes:
+        # the simulated run would (correctly, but uselessly) never end.
+        raise ConfigurationError(
+            f"restart_s ({faults.restart_s:g}) >= node_mtbf_s "
+            f"({faults.node_mtbf_s:g}): recovery can never outpace failures"
+        )
+    if resilient:
+        crash_streams = (
+            [faults.crash_times(n) for n in range(config.nodes)]
+            if faults is not None
+            else None
+        )
+        next_crash = [
+            crash_streams[n].next_after(0.0) if crash_streams else math.inf
+            for n in range(config.nodes)
+        ]
+        next_ckpt = [
+            checkpoint.interval_s if checkpoint is not None else math.inf
+        ] * config.nodes
+        work_since = [0.0] * config.nodes  # volatile compute since durable state
+        synth_uid = -1  # synthetic uids for checkpoint/recovery records
 
     scheduled = 0
     while ready:
@@ -170,6 +229,7 @@ def simulate_tasks(
         task = task_by_uid[uid]
         node = grid.owner(*task.output)
         comm_bytes = 0.0
+        cast_bytes = 0.0
         conversions = 0
         est = 0.0
         for pred in dag.predecessors(uid):
@@ -179,23 +239,56 @@ def simulate_tasks(
                 nbytes = _wire_bytes(plan, layout, pred_out)
                 ready_at += machine.comm_time(nbytes)
                 comm_bytes += nbytes
-                if pred_out[1] >= 0 and task.output[1] >= 0:
-                    conversions += int(
-                        plan.precision_of(*pred_out)
-                        is not plan.precision_of(*task.output)
-                    )
+                if (
+                    pred_out[1] >= 0
+                    and task.output[1] >= 0
+                    and plan.precision_of(*pred_out)
+                    is not plan.precision_of(*task.output)
+                ):
+                    conversions += 1
+                    cast_bytes += nbytes
             est = max(est, ready_at)
         heap = core_free[node]
-        core_available = heapq.heappop(heap)
+        core_available, core = heapq.heappop(heap)
         start = max(est, core_available)
         duration = durations[uid]
-        if config.model_comm and conversions:
-            # Receiver-side cast: one bandwidth-bound pass over the data.
-            duration += conversions * (
-                comm_bytes / machine.core_mem_bw() if comm_bytes else 0.0
+        if config.model_comm and cast_bytes:
+            # Receiver-side cast: one bandwidth-bound pass over each
+            # converted predecessor's wire bytes.
+            duration += cast_bytes / machine.core_mem_bw()
+        attempts = 1
+        if faults is not None and faults.transient_prob > 0.0:
+            wasted = faults.task_waste_fractions(uid)
+            attempts += len(wasted)
+            duration *= 1.0 + sum(wasted)
+        if resilient:
+            start, extra, events = _apply_node_events(
+                node, start, duration,
+                next_crash, next_ckpt, work_since,
+                crash_streams, faults, checkpoint,
             )
+            # Volatile work to re-execute on a later crash: the compute
+            # time, not the checkpoint stalls folded into `extra`.
+            work_since[node] += duration
+            duration += extra
+            for ev_kind, ev_op, ev_start, ev_end in events:
+                synth_uid -= 1
+                trace.add(
+                    TaskRecord(
+                        uid=synth_uid, op=ev_op, node=node, core=core,
+                        start=ev_start, end=ev_end, kind=ev_kind,
+                    )
+                )
+                if ev_kind == "recovery":
+                    # The whole node stalls until recovery completes.
+                    rebumped = [
+                        (max(t, ev_end), c) for t, c in core_free[node]
+                    ]
+                    heapq.heapify(rebumped)
+                    core_free[node] = rebumped
+                    heap = core_free[node]
         end = start + duration
-        heapq.heappush(heap, end)
+        heapq.heappush(heap, (end, core))
         finish[uid] = end
         node_of[uid] = node
         trace.add(
@@ -203,12 +296,13 @@ def simulate_tasks(
                 uid=uid,
                 op=task.op,
                 node=node,
-                core=0,
+                core=core,
                 start=start,
                 end=end,
                 flops=task_flops(shapes[uid]),
                 comm_bytes=comm_bytes,
                 conversions=conversions,
+                attempts=attempts,
             )
         )
         scheduled += 1
@@ -223,3 +317,62 @@ def simulate_tasks(
             "(dependence cycle?)"
         )
     return trace
+
+
+def _apply_node_events(
+    node: int,
+    start: float,
+    duration: float,
+    next_crash: list[float],
+    next_ckpt: list[float],
+    work_since: list[float],
+    crash_streams,
+    faults: FaultModel | None,
+    checkpoint: CheckpointConfig | None,
+) -> tuple[float, float, list[tuple[str, str, float, float]]]:
+    """Process checkpoint/crash events of ``node`` that occur before the
+    task tentatively placed at ``[start, start + duration)`` completes.
+
+    Returns the adjusted start, extra mid-task stall time, and the
+    resilience trace events as ``(kind, op, start, end)`` tuples.
+    Mutates the per-node ``next_crash``/``next_ckpt``/``work_since``
+    state in place (events are consumed exactly once, in time order).
+    """
+    extra = 0.0
+    events: list[tuple[str, str, float, float]] = []
+    while True:
+        end = start + duration + extra
+        t_crash = next_crash[node]
+        t_ckpt = next_ckpt[node]
+        if min(t_crash, t_ckpt) >= end:
+            return start, extra, events
+        if t_crash <= t_ckpt:
+            # Node crash: restart, then re-execute volatile work.  The
+            # in-flight task's partial progress is lost too.
+            assert faults is not None and crash_streams is not None
+            tc = t_crash
+            lost = work_since[node] + max(0.0, tc - start)
+            rec_end = tc + faults.restart_s + lost
+            events.append(("recovery", "recover", tc, rec_end))
+            # Re-executed work is volatile again until the next
+            # checkpoint; the current task restarts from scratch.
+            work_since[node] = lost
+            start = rec_end if tc >= start else max(start, rec_end)
+            extra = 0.0
+            next_crash[node] = crash_streams[node].next_after(tc)
+            if checkpoint is not None:
+                while next_ckpt[node] <= rec_end:
+                    next_ckpt[node] += checkpoint.interval_s
+        else:
+            # Coordinated checkpoint epoch: pay the write cost, durable
+            # state advances (input tiles of the in-flight task are
+            # saved; its partial progress is not).
+            assert checkpoint is not None
+            c = t_ckpt
+            events.append(("checkpoint", "ckpt", c, c + checkpoint.cost_s))
+            if c <= start:
+                start = max(start, c + checkpoint.cost_s)
+            else:
+                extra += checkpoint.cost_s
+            work_since[node] = 0.0
+            next_ckpt[node] += checkpoint.interval_s

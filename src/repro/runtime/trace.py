@@ -13,9 +13,17 @@ from dataclasses import dataclass, field
 __all__ = ["TaskRecord", "ExecutionTrace"]
 
 
+#: Record kinds: ``"compute"`` is a DAG task; ``"checkpoint"`` and
+#: ``"recovery"`` are resilience events injected by the fault-aware
+#: simulator (periodic tile checkpoint; post-crash restart plus lost-work
+#: re-execution).  Non-compute records carry negative synthetic uids so
+#: they never collide with DAG node ids.
+RECORD_KINDS = ("compute", "checkpoint", "recovery")
+
+
 @dataclass(frozen=True)
 class TaskRecord:
-    """One executed task."""
+    """One executed task (or resilience event)."""
 
     uid: int
     op: str
@@ -26,6 +34,8 @@ class TaskRecord:
     flops: float = 0.0
     comm_bytes: float = 0.0
     conversions: int = 0
+    kind: str = "compute"
+    attempts: int = 1
 
     @property
     def duration(self) -> float:
@@ -42,6 +52,11 @@ class ExecutionTrace:
 
     def add(self, record: TaskRecord) -> None:
         self.records.append(record)
+
+    @property
+    def compute_records(self) -> list[TaskRecord]:
+        """DAG-task records only (checkpoint/recovery events excluded)."""
+        return [r for r in self.records if r.kind == "compute"]
 
     @property
     def makespan(self) -> float:
@@ -94,11 +109,42 @@ class ExecutionTrace:
         return sum(r.duration for r in self.records) / capacity
 
     def start_end_maps(self) -> tuple[dict[int, float], dict[int, float]]:
-        """(start, end) keyed by uid, for schedule validation."""
+        """(start, end) keyed by uid, for schedule validation.
+
+        Only compute records participate: resilience events are not DAG
+        nodes (their synthetic uids are negative).
+        """
+        compute = self.compute_records
         return (
-            {r.uid: r.start for r in self.records},
-            {r.uid: r.end for r in self.records},
+            {r.uid: r.start for r in compute},
+            {r.uid: r.end for r in compute},
         )
+
+    # ------------------------------------------------------------------
+    # resilience accounting (fault-aware simulation)
+    # ------------------------------------------------------------------
+    def overhead_by_kind(self) -> dict[str, float]:
+        """Busy time of non-compute (resilience) records by kind."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            if r.kind != "compute":
+                out[r.kind] = out.get(r.kind, 0.0) + r.duration
+        return out
+
+    @property
+    def checkpoint_count(self) -> int:
+        return sum(1 for r in self.records if r.kind == "checkpoint")
+
+    @property
+    def recovery_count(self) -> int:
+        """Number of node-crash recoveries charged during the run."""
+        return sum(1 for r in self.records if r.kind == "recovery")
+
+    @property
+    def reexecuted_tasks(self) -> int:
+        """Compute tasks that needed more than one attempt (transient
+        failures re-executed in place)."""
+        return sum(1 for r in self.compute_records if r.attempts > 1)
 
     def to_chrome_trace(self) -> list[dict]:
         """Chrome ``about://tracing`` / Perfetto event list.
@@ -111,7 +157,7 @@ class ExecutionTrace:
         for r in self.records:
             events.append({
                 "name": r.op,
-                "cat": "tile-task",
+                "cat": "tile-task" if r.kind == "compute" else r.kind,
                 "ph": "X",
                 "ts": r.start * 1e6,     # microseconds
                 "dur": r.duration * 1e6,
@@ -122,13 +168,15 @@ class ExecutionTrace:
                     "gflops": r.flops / 1e9,
                     "comm_bytes": r.comm_bytes,
                     "conversions": r.conversions,
+                    "attempts": r.attempts,
                 },
             })
         return events
 
     def summary(self) -> dict[str, float]:
+        overhead = self.overhead_by_kind()
         return {
-            "tasks": float(len(self.records)),
+            "tasks": float(len(self.compute_records)),
             "makespan_s": self.makespan,
             "total_gflops": self.total_flops / 1e9,
             "sustained_gflops": self.sustained_flops() / 1e9,
@@ -136,4 +184,8 @@ class ExecutionTrace:
             "conversions": float(self.total_conversions),
             "load_imbalance": self.load_imbalance(),
             "parallel_efficiency": self.parallel_efficiency(),
+            "checkpoints": float(self.checkpoint_count),
+            "recoveries": float(self.recovery_count),
+            "reexecuted_tasks": float(self.reexecuted_tasks),
+            "resilience_overhead_s": float(sum(overhead.values())),
         }

@@ -4,7 +4,7 @@ Layering inside this subpackage (no cycles):
 
     precision -> tile -> compression -> layout -> matrix
     (perfmodel) -> decisions / bandtuning -> assembly
-    kernels -> cholesky / solve
+    kernels -> cholesky / solve -> recovery
 """
 
 from .assembly import AssemblyReport, assemble_dense, build_planned_covariance
@@ -29,6 +29,13 @@ from .layout import TileLayout
 from .matrix import TileMatrix
 from .precision import PRECISION_LADDER, Precision, cast_storage, compute_dtype
 from .diagnostics import condition_estimate, power_norm_estimate
+from .recovery import (
+    DEFAULT_RECOVERY,
+    RecoveryAction,
+    RecoveryPolicy,
+    RecoveryReport,
+    factor_with_recovery,
+)
 from .refinement import RefinementResult, refine_solve
 from .solve import (
     backward_solve,
@@ -70,6 +77,11 @@ __all__ = [
     "forward_solve",
     "backward_solve",
     "tile_logdet",
+    "RecoveryPolicy",
+    "RecoveryAction",
+    "RecoveryReport",
+    "DEFAULT_RECOVERY",
+    "factor_with_recovery",
     "RefinementResult",
     "refine_solve",
     "power_norm_estimate",

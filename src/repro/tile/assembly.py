@@ -125,6 +125,8 @@ def build_planned_covariance(
     max_rank_fraction: float = DEFAULT_MAX_RANK_FRACTION,
     structure_mode: str = "rank",
     machine: MachineSpec = A64FX,
+    min_precisions: "Precision | dict[tuple[int, int], Precision] | None" = None,
+    force_dense: "bool | set[tuple[int, int]]" = False,
 ) -> tuple[TileMatrix, AssemblyReport]:
     """Full generation + decision pipeline.
 
@@ -136,6 +138,13 @@ def build_planned_covariance(
     ``"band"`` for the legacy Fig. 2(c) band rule); ``use_tlr`` enables
     tile low-rank off the dense band with ``band_size`` either a fixed
     integer or ``"auto"`` (Algorithm 2).
+
+    ``min_precisions`` (a global floor or a per-tile map) and
+    ``force_dense`` (``True`` for all tiles, or a set of tile keys)
+    override the automatic decisions — the rebuild hooks of the
+    numerical recovery ladder (:mod:`repro.tile.recovery`).  The floor
+    is applied *before* band tuning and the structure decision so the
+    downstream pipeline stays self-consistent.
     """
     layout = TileLayout(len(x), tile_size)
     nt = layout.nt
@@ -156,6 +165,15 @@ def build_planned_covariance(
             raise ConfigurationError(f"unknown mp_mode {mp_mode!r}")
     else:
         precisions = {key: Precision.FP64 for key in layout.lower_tiles()}
+
+    if min_precisions is not None:
+        if isinstance(min_precisions, Precision):
+            floors = {key: min_precisions for key in precisions}
+        else:
+            floors = min_precisions
+        for key, floor in floors.items():
+            if key in precisions and precisions[key] < floor:
+                precisions[key] = floor
 
     # --- structure decision -------------------------------------------------
     ranks: dict[tuple[int, int], int] = {}
@@ -194,6 +212,12 @@ def build_planned_covariance(
         # A tile whose factors were not kept (rank too high) must stay dense.
         for key, flag in use_lr.items():
             if flag and key not in factors:
+                use_lr[key] = False
+
+    if force_dense:
+        forced = set(use_lr) if force_dense is True else set(force_dense)
+        for key in forced:
+            if key in use_lr:
                 use_lr[key] = False
 
     # --- materialize ----------------------------------------------------

@@ -1,0 +1,152 @@
+"""Optimizer checkpoint/resume and MLE driver budget guards."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import fit_mle
+from repro.exceptions import ConfigurationError, ParameterError
+from repro.kernels import MaternKernel
+from repro.optim import (
+    load_checkpoint,
+    nelder_mead,
+    particle_swarm,
+    save_checkpoint,
+)
+
+
+def rosenbrock(x):
+    return float(100.0 * (x[1] - x[0] ** 2) ** 2 + (1.0 - x[0]) ** 2)
+
+
+def rosenbrock_batch(pos):
+    return [rosenbrock(p) for p in pos]
+
+
+class TestCheckpointFile:
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "nope.json"), kind="pso") is None
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(path, kind="nelder-mead", state={"it": 1})
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path, kind="pso")
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"hello": "world"}')
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path, kind="pso")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = str(tmp_path / "corrupt.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path, kind="pso")
+
+    def test_arrays_round_trip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        state = {"a": np.arange(6.0).reshape(2, 3), "n": np.int64(3)}
+        save_checkpoint(path, kind="x", state=state)
+        loaded = load_checkpoint(path, kind="x")
+        np.testing.assert_array_equal(np.asarray(loaded["a"]), state["a"])
+        assert loaded["n"] == 3
+
+
+class TestNelderMeadResume:
+    def test_round_trip_equality(self, tmp_path):
+        """Interrupt at 40 iterations, resume, and land bit-identically
+        where the uninterrupted run lands."""
+        x0 = np.array([-1.0, 2.0])
+        path = str(tmp_path / "nm.json")
+        full = nelder_mead(rosenbrock, x0, max_iter=120)
+        nelder_mead(
+            rosenbrock, x0, max_iter=40,
+            checkpoint_path=path, checkpoint_every=5,
+        )
+        assert os.path.exists(path)
+        resumed = nelder_mead(
+            rosenbrock, x0, max_iter=120,
+            checkpoint_path=path, checkpoint_every=5,
+        )
+        assert np.array_equal(full.x, resumed.x)
+        assert full.fun == resumed.fun
+        assert full.nit == resumed.nit
+        assert full.history == resumed.history
+
+    def test_checkpointing_does_not_change_result(self, tmp_path):
+        x0 = np.array([0.5, -0.5])
+        plain = nelder_mead(rosenbrock, x0, max_iter=60)
+        ck = nelder_mead(
+            rosenbrock, x0, max_iter=60,
+            checkpoint_path=str(tmp_path / "nm.json"), checkpoint_every=7,
+        )
+        assert np.array_equal(plain.x, ck.x)
+        assert plain.fun == ck.fun and plain.nfev == ck.nfev
+
+
+class TestPSOResume:
+    def test_round_trip_equality(self, tmp_path):
+        """The swarm *and* its bit-generator state must survive the
+        round trip: positions, velocities, bests, and every subsequent
+        random draw."""
+        bounds = [(-3.0, 3.0), (-3.0, 3.0)]
+        path = str(tmp_path / "pso.json")
+        kwargs = dict(n_particles=12, seed=4, patience=100)
+        full = particle_swarm(rosenbrock_batch, bounds, max_iter=60, **kwargs)
+        particle_swarm(
+            rosenbrock_batch, bounds, max_iter=25,
+            checkpoint_path=path, checkpoint_every=4, **kwargs,
+        )
+        resumed = particle_swarm(
+            rosenbrock_batch, bounds, max_iter=60,
+            checkpoint_path=path, checkpoint_every=4, **kwargs,
+        )
+        assert np.array_equal(full.x, resumed.x)
+        assert full.fun == resumed.fun
+        assert full.nfev == resumed.nfev
+        assert full.history == resumed.history
+
+
+@pytest.fixture(scope="module")
+def small_field():
+    gen = np.random.default_rng(11)
+    x = gen.uniform(size=(120, 2))
+    kernel = MaternKernel()
+    theta = np.array([1.0, 0.12, 0.5])
+    sigma = kernel.covariance_matrix(theta, x, nugget=1e-6)
+    z = np.linalg.cholesky(sigma) @ gen.standard_normal(120)
+    return kernel, theta, x, z
+
+
+class TestFitBudget:
+    def test_max_nfev_stops_with_best_seen(self, small_field):
+        kernel, theta, x, z = small_field
+        result = fit_mle(kernel, x, z, tile_size=40, theta0=theta, max_nfev=12)
+        assert result.stopped_on == "max_nfev"
+        assert result.nfev == 12
+        assert not result.converged
+        assert np.isfinite(result.loglik)
+
+    def test_zero_time_budget_raises(self, small_field):
+        kernel, theta, x, z = small_field
+        with pytest.raises(ParameterError):
+            fit_mle(kernel, x, z, tile_size=40, theta0=theta, time_budget_s=0.0)
+
+    def test_checkpoint_passthrough_resumes(self, small_field, tmp_path):
+        kernel, theta, x, z = small_field
+        path = str(tmp_path / "mle.json")
+        first = fit_mle(
+            kernel, x, z, tile_size=40, theta0=theta,
+            max_iter=15, checkpoint_path=path, checkpoint_every=5,
+        )
+        assert os.path.exists(path)
+        resumed = fit_mle(
+            kernel, x, z, tile_size=40, theta0=theta,
+            max_iter=40, checkpoint_path=path, checkpoint_every=5,
+        )
+        assert resumed.nit > first.nit

@@ -1,0 +1,184 @@
+"""Numerical recovery ladder for MP/TLR Cholesky breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DENSE_FP64,
+    MP_DENSE_TLR,
+    MP_DENSE_TLR_RECOVER,
+    fit_mle,
+    get_variant,
+    loglikelihood,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    NotPositiveDefiniteError,
+    RecoveryExhaustedError,
+)
+from repro.kernels import MaternKernel
+from repro.tile import (
+    DEFAULT_RECOVERY,
+    Precision,
+    RecoveryPolicy,
+    build_planned_covariance,
+)
+
+
+@pytest.fixture(scope="module")
+def hard_problem():
+    """An ill-conditioned Matern field that breaks aggressive MP/TLR
+    factorization: huge range + high smoothness."""
+    gen = np.random.default_rng(3)
+    x = gen.uniform(size=(160, 2))
+    theta = np.array([1.0, 2.5, 2.5])
+    z = gen.standard_normal(160)
+    return MaternKernel(), theta, x, z
+
+
+@pytest.fixture(scope="module")
+def harsh_variant():
+    """MP/TLR with demotion aggressive enough to lose definiteness."""
+    return MP_DENSE_TLR.with_(name="harsh", mp_accuracy=1e-1, tlr_tol=1e-1)
+
+
+class TestAssemblyOverrides:
+    def test_min_precisions_global_floor(self, matern, theta_matern, locations_200):
+        mat, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40,
+            use_mp=True, min_precisions=Precision.FP64,
+        )
+        assert set(report.plan.precisions.values()) == {Precision.FP64}
+
+    def test_min_precisions_per_tile(self, matern, theta_matern, locations_200):
+        _, base = build_planned_covariance(
+            matern, theta_matern, locations_200, 40, use_mp=True,
+        )
+        demoted = [
+            key for key, p in base.plan.precisions.items()
+            if p is not Precision.FP64
+        ]
+        assert demoted, "need at least one demoted tile for this test"
+        target = demoted[0]
+        _, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40,
+            use_mp=True, min_precisions={target: Precision.FP64},
+        )
+        assert report.plan.precisions[target] is Precision.FP64
+        # Other decisions are untouched.
+        for key, p in base.plan.precisions.items():
+            if key != target:
+                assert report.plan.precisions[key] is p
+
+    def test_force_dense_all(self, matern, theta_matern, locations_200):
+        _, report = build_planned_covariance(
+            matern, theta_matern, locations_200, 40,
+            use_tlr=True, band_size=1, force_dense=True,
+        )
+        assert not any(report.plan.use_lr.values())
+
+
+class TestRecoveryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_jitter_attempts=-1)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(initial_jitter=0.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_jitter=1e-12, initial_jitter=1e-10)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(jitter_growth=1.0)
+
+    def test_variant_registry(self):
+        cfg = get_variant("tlr-recover")
+        assert cfg.name == "mp-dense-tlr-recover"
+        assert cfg.recovery == DEFAULT_RECOVERY
+        assert get_variant("mp-dense-tlr").recovery is None
+
+
+class TestLadderEscalation:
+    def test_hard_problem_fails_without_recovery(self, hard_problem, harsh_variant):
+        kernel, theta, x, z = hard_problem
+        with pytest.raises(NotPositiveDefiniteError):
+            loglikelihood(kernel, theta, x, z, tile_size=32, variant=harsh_variant)
+
+    def test_escalation_order_and_rescue(self, hard_problem, harsh_variant):
+        kernel, theta, x, z = hard_problem
+        rec = harsh_variant.with_(name="harsh-rec", recovery=DEFAULT_RECOVERY)
+        result = loglikelihood(kernel, theta, x, z, tile_size=32, variant=rec)
+        assert np.isfinite(result.value)
+        report = result.recovery
+        assert report is not None and report.recovered
+        # The ladder must escalate in its documented order, never skip
+        # ahead: each attempted rung appears before the next one.
+        expected = ("promote_tile", "promote_band", "densify", "jitter")
+        assert report.steps == expected[: len(report.steps)]
+        assert report.actions[-1].succeeded
+        assert all(not a.succeeded for a in report.actions[:-1])
+        assert report.attempts == len(report.actions) + 1
+
+    def test_no_recovery_report_when_not_needed(
+        self, matern, theta_matern, locations_200, rng
+    ):
+        z = rng.standard_normal(200)
+        rec = DENSE_FP64.with_(name="d64-rec", recovery=DEFAULT_RECOVERY)
+        result = loglikelihood(
+            matern, theta_matern, locations_200, z,
+            tile_size=40, variant=rec, nugget=1e-8,
+        )
+        assert result.recovery is None
+
+    def test_jitter_rescues_singular_matrix(self):
+        gen = np.random.default_rng(5)
+        pts = gen.uniform(size=(60, 2))
+        x = np.vstack([pts, pts])  # duplicated locations: exactly singular
+        z = gen.standard_normal(120)
+        rec = DENSE_FP64.with_(name="d64-rec", recovery=DEFAULT_RECOVERY)
+        result = loglikelihood(
+            MaternKernel(), np.array([1.0, 0.1, 0.5]), x, z,
+            tile_size=30, variant=rec,
+        )
+        assert result.recovery is not None
+        assert result.recovery.steps[-1] == "jitter"
+        assert result.recovery.jitter_added > 0
+
+    def test_exhaustion_raises_with_report(self):
+        gen = np.random.default_rng(5)
+        pts = gen.uniform(size=(60, 2))
+        x = np.vstack([pts, pts])
+        z = gen.standard_normal(120)
+        # Jitter disabled: nothing can rescue an exactly singular matrix.
+        rec = DENSE_FP64.with_(
+            name="d64-rec0", recovery=RecoveryPolicy(max_jitter_attempts=0)
+        )
+        with pytest.raises(RecoveryExhaustedError) as info:
+            loglikelihood(
+                MaternKernel(), np.array([1.0, 0.1, 0.5]), x, z,
+                tile_size=30, variant=rec,
+            )
+        err = info.value
+        assert isinstance(err, NotPositiveDefiniteError)
+        assert err.report is not None and not err.report.recovered
+        assert err.report.steps == ("promote_tile", "promote_band", "densify")
+
+
+class TestRecoveredFit:
+    def test_previously_failing_fit_converges(self, hard_problem, harsh_variant):
+        """Acceptance: a fit whose every evaluation broke down under the
+        harsh variant converges once the ladder is enabled, and the
+        rescues are surfaced on the MLEResult."""
+        kernel, theta, x, z = hard_problem
+        plain = fit_mle(
+            kernel, x, z, tile_size=32, variant=harsh_variant,
+            theta0=theta, max_iter=6,
+        )
+        assert plain.failed_evaluations > 0
+        rec = harsh_variant.with_(name="harsh-rec", recovery=DEFAULT_RECOVERY)
+        fitted = fit_mle(
+            kernel, x, z, tile_size=32, variant=rec,
+            theta0=theta, max_iter=6,
+        )
+        assert np.isfinite(fitted.loglik)
+        assert fitted.recovered_evaluations > 0
+        assert fitted.recovery_reports
+        assert all(r.actions for r in fitted.recovery_reports)
