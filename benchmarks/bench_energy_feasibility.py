@@ -8,11 +8,7 @@ Cholesky energy per variant at scale, and the largest feasible matrix
 per variant on a Fugaku-node-memory budget.
 """
 
-import pytest
-
 from repro.perfmodel import (
-    A64FX,
-    PlanProfile,
     estimate_energy,
     max_feasible_n,
     storage_per_node,

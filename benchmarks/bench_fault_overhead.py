@@ -89,7 +89,7 @@ def test_makespan_inflation_vs_mtbf(fault_problem, write_artifact, benchmark):
             rows,
             title=(
                 f"Fault overhead vs MTBF ({NODES} nodes, seeded "
-                f"crashes, checkpoint every makespan/10)"
+                "crashes, checkpoint every makespan/10)"
             ),
             float_fmt="{:.3g}",
         ),

@@ -8,7 +8,6 @@ and cross-check the small-N end against the real-DAG discrete-event
 simulator.
 """
 
-import numpy as np
 import pytest
 
 from repro.perfmodel import A64FX, PlanProfile, estimate_cholesky
@@ -94,7 +93,7 @@ def test_fig7_simulator_crosscheck(correlation_profiles, write_artifact, benchma
     ratio = trace.makespan / est.time_s
     write_artifact(
         "fig7_simulator_crosscheck",
-        f"Fig. 7 companion — DAG simulator vs aggregate estimator at "
+        "Fig. 7 companion — DAG simulator vs aggregate estimator at "
         f"N={nt * TILE}, 4 nodes: sim {trace.makespan:.3f}s, "
         f"estimate {est.time_s:.3f}s, ratio {ratio:.2f}",
     )

@@ -10,9 +10,6 @@ We compute the *actual* decision maps on a measured laptop-scale matrix
 paper's 1M / tile-2700 configuration through the offset-class profile.
 """
 
-import numpy as np
-import pytest
-
 from repro.perfmodel import A64FX, estimate_cholesky
 from repro.stats import format_table
 

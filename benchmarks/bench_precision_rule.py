@@ -13,7 +13,6 @@ from repro.kernels import MaternKernel
 from repro.ordering import order_points
 from repro.stats import format_table
 from repro.tile import (
-    TileMatrix,
     build_planned_covariance,
     frobenius_precision_map,
 )

@@ -10,7 +10,6 @@ near-constant as q grows, which is the claim.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import loglikelihood
 from repro.data import simulate_matern_dataset

@@ -10,7 +10,6 @@ with beta free (nonseparable) vs pinned to ~0 (separable) and compare
 held-out MSPE and log-likelihood.
 """
 
-import numpy as np
 import pytest
 
 from repro import ExaGeoStatModel
@@ -22,8 +21,6 @@ from repro.stats import format_table
 def strongly_interacting_results():
     """The effect the paper warns about needs a genuinely interacting
     field: generate with beta = 0.9 and compare the fits."""
-    import numpy as np
-
     from repro.data import ET_THETA
     from repro.data.locations import space_time_locations
     from repro.data.split import train_test_split

@@ -9,8 +9,6 @@ variant chose.
 Run:  python examples/soil_moisture_study.py
 """
 
-import numpy as np
-
 from repro import ExaGeoStatModel
 from repro.core import loglikelihood
 from repro.data import soil_moisture_surrogate

@@ -50,6 +50,7 @@ from .exceptions import (
     NotPositiveDefiniteError,
     OptimizationError,
     ParameterError,
+    PlanValidationError,
     ReproError,
     SchedulingError,
     ShapeError,
@@ -80,5 +81,6 @@ __all__ = [
     "SchedulingError",
     "OptimizationError",
     "ConfigurationError",
+    "PlanValidationError",
     "__version__",
 ]

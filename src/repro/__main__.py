@@ -12,6 +12,11 @@ Commands
     Print the Fig. 5 dense/TLR crossover analysis for a tile size.
 ``scaling [--nodes N] [--matrix M]``
     Fig. 10-style projection for a weak-correlation problem.
+``analyze [--lint PATH ...] [--golden-plans] [--json] [--rules]``
+    Static verification layer: run the numerical-hygiene linter over
+    source paths and/or the golden-plan suite (every shipped variant at
+    nt in {4, 8} through the plan + DAG verifiers).  Exit code 0 iff no
+    error-severity finding is reported; warnings do not fail the run.
 """
 
 from __future__ import annotations
@@ -112,6 +117,39 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        DAG_RULES,
+        LINT_RULES,
+        PLAN_RULES,
+        AnalysisReport,
+        Severity,
+        check_golden_plans,
+        lint_paths,
+    )
+
+    if args.rules:
+        for catalog in (PLAN_RULES, DAG_RULES, LINT_RULES):
+            for rule, text in catalog.items():
+                print(f"  {rule}  {text}")
+        return 0
+    if not args.lint and not args.golden_plans:
+        print("nothing to analyze: pass --lint PATH ... and/or "
+              "--golden-plans", file=sys.stderr)
+        return 2
+    report = AnalysisReport()
+    if args.lint:
+        report.extend(lint_paths(args.lint))
+    if args.golden_plans:
+        report.extend(check_golden_plans())
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        min_severity = Severity.INFO if args.verbose else Severity.WARNING
+        print(report.render_text(min_severity=min_severity))
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -125,12 +163,25 @@ def main(argv: list[str] | None = None) -> int:
     p_s = sub.add_parser("scaling", help="Fig. 10-style projection")
     p_s.add_argument("--nodes", type=int, default=4096)
     p_s.add_argument("--matrix", type=int, default=4_000_000)
+    p_a = sub.add_parser("analyze", help="static verification layer")
+    p_a.add_argument("--lint", nargs="+", metavar="PATH", default=[],
+                     help="lint these files/directories")
+    p_a.add_argument("--golden-plans", action="store_true",
+                     help="verify every shipped variant's plan + DAG "
+                          "at nt in {4, 8}")
+    p_a.add_argument("--json", action="store_true",
+                     help="machine-readable JSON output")
+    p_a.add_argument("--rules", action="store_true",
+                     help="print the rule catalog and exit")
+    p_a.add_argument("--verbose", action="store_true",
+                     help="also print info-severity findings")
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
         "selfcheck": _cmd_selfcheck,
         "crossover": _cmd_crossover,
         "scaling": _cmd_scaling,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,48 @@
+"""Static verification layer: plan/DAG analyzers + numerical linter.
+
+Three analyzers share one diagnostics framework
+(:mod:`repro.analysis.diagnostics`):
+
+* :mod:`repro.analysis.plancheck` — verifies a
+  :class:`~repro.tile.decisions.TilePlan` against the paper's
+  invariants (Frobenius precision rule, Algorithm-2 dense band,
+  crossover-admissible ranks, memory/fault budgets) *before* any
+  factorization is paid for;
+* :mod:`repro.analysis.dagcheck` — verifies task streams and
+  dependence DAGs for read-before-write and WAW/RAW races under any
+  scheduler;
+* :mod:`repro.analysis.lint` — AST-level numerical-hygiene rules over
+  the repository's own sources.
+
+The ``validate_plan`` hooks in :func:`repro.tile.cholesky.tile_cholesky`
+and :func:`repro.runtime.simulator.simulate_tasks` raise
+:class:`~repro.exceptions.PlanValidationError` on error-severity
+findings; ``python -m repro analyze`` exposes everything on the CLI.
+"""
+
+from .dagcheck import DAG_RULES, check_dag, check_task_stream, check_taskgraph
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+from .golden import GOLDEN_NTS, GOLDEN_VARIANTS, check_golden_plan, check_golden_plans
+from .lint import LINT_RULES, lint_file, lint_paths, lint_source
+from .plancheck import PLAN_RULES, check_plan, plan_from_matrix
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "check_plan",
+    "plan_from_matrix",
+    "check_task_stream",
+    "check_dag",
+    "check_taskgraph",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "check_golden_plan",
+    "check_golden_plans",
+    "GOLDEN_VARIANTS",
+    "GOLDEN_NTS",
+    "PLAN_RULES",
+    "DAG_RULES",
+    "LINT_RULES",
+]

@@ -1,0 +1,89 @@
+"""Golden-plan verification: every shipped variant must analyze clean.
+
+The CI analysis job (and ``python -m repro analyze --golden-plans``)
+builds each shipped compute variant on a small deterministic Matérn
+problem at ``nt`` in {4, 8}, runs the full plan verifier on the
+resulting :class:`~repro.tile.decisions.TilePlan` and the full DAG
+verifier on the matching Cholesky + forward-solve task streams, and
+requires zero error-severity findings.  A change to the planner, the
+decision rules, or the task generators that silently violates a paper
+invariant fails this check before any numerical test would notice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_SEED
+from ..core.variants import get_variant
+from ..kernels import MaternKernel
+from ..runtime.taskgraph import cholesky_tasks, forward_solve_tasks
+from ..tile.assembly import build_planned_covariance
+from .dagcheck import check_taskgraph
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+from .plancheck import check_plan
+
+__all__ = ["GOLDEN_VARIANTS", "GOLDEN_NTS", "check_golden_plan", "check_golden_plans"]
+
+#: The shipped pipeline variants the golden suite covers.
+GOLDEN_VARIANTS: tuple[str, ...] = (
+    "dense-fp64", "mp-dense", "mp-dense-tlr", "mp-dense-tlr-recover",
+)
+#: Tile-grid sizes of the golden problems.
+GOLDEN_NTS: tuple[int, ...] = (4, 8)
+
+_GOLDEN_TILE = 16
+_GOLDEN_THETA = (1.0, 0.1, 0.5)  # variance, range, smoothness
+_GOLDEN_NUGGET = 1.0e-8
+
+
+def _golden_locations(nt: int) -> np.ndarray:
+    gen = np.random.default_rng(DEFAULT_SEED)
+    return gen.uniform(size=(nt * _GOLDEN_TILE, 2))
+
+
+def check_golden_plan(variant: str, nt: int) -> AnalysisReport:
+    """Build ``variant`` at ``nt`` tiles and verify plan + task graph."""
+    config = get_variant(variant)
+    theta = np.asarray(_GOLDEN_THETA)
+    x = _golden_locations(nt)
+    _, rep = build_planned_covariance(
+        MaternKernel(), theta, x, _GOLDEN_TILE,
+        nugget=_GOLDEN_NUGGET, **config.assembly_kwargs(),
+    )
+    report = check_plan(
+        rep.plan,
+        tile_norms=rep.tile_norms,
+        global_norm=rep.global_norm,
+        u_high=config.mp_accuracy,
+        variance=float(theta[0]) + _GOLDEN_NUGGET,
+        machine=config.machine,
+        structure_mode=config.structure_mode,
+        max_rank_fraction=config.max_rank_fraction,
+    )
+    layout = rep.plan.layout
+    tasks = list(cholesky_tasks(nt))
+    report.extend(check_taskgraph(tasks, layout=layout))
+    solve = list(forward_solve_tasks(nt, base_uid=len(tasks)))
+    report.extend(check_taskgraph(solve, layout=layout))
+    return report
+
+
+def check_golden_plans(
+    variants: tuple[str, ...] = GOLDEN_VARIANTS,
+    nts: tuple[int, ...] = GOLDEN_NTS,
+) -> AnalysisReport:
+    """Verify every (variant, nt) combination; adds one INFO finding
+    per combination so the CLI can narrate coverage."""
+    report = AnalysisReport()
+    for variant in variants:
+        for nt in nts:
+            sub = check_golden_plan(variant, nt)
+            status = "clean" if sub.ok else f"{len(sub.errors)} error(s)"
+            report.add(Diagnostic(
+                "GOLDEN", Severity.INFO,
+                f"variant {variant} at nt={nt}: {status} "
+                f"({len(sub)} finding(s))",
+            ))
+            report.extend(sub)
+    return report

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from .cholesky import ScaleEstimate, estimate_cholesky
 from .machine import A64FX, MachineSpec
 from .profiles import PlanProfile

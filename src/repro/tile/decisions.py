@@ -34,7 +34,7 @@ from ..exceptions import ConfigurationError
 from ..perfmodel.kernelmodel import TaskShape, task_time
 from ..perfmodel.machine import MachineSpec
 from .layout import TileLayout
-from .precision import PRECISION_LADDER, Precision
+from .precision import Precision
 
 __all__ = [
     "TilePlan",

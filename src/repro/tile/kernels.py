@@ -22,7 +22,7 @@ from scipy import linalg as sla
 
 from ..exceptions import CompressionError, NotPositiveDefiniteError, ShapeError
 from .compression import lr_add, truncated_svd
-from .precision import Precision, compute_dtype
+from .precision import compute_dtype
 from .tile import DenseTile, LowRankTile, Tile
 
 __all__ = ["potrf", "trsm", "syrk", "gemm"]
@@ -51,20 +51,28 @@ def _matmul_emulated(a: np.ndarray, b: np.ndarray, dtype: np.dtype) -> np.ndarra
     """
     if dtype != np.float16:
         return _as_compute(a, dtype) @ _as_compute(b, dtype)
-    a16 = a.astype(np.float16)
-    b16 = b.astype(np.float16)
+    a16 = _round16(a)
+    b16 = _round16(b)
     k = a16.shape[1]
     acc = np.zeros((a16.shape[0], b16.shape[1]), dtype=np.float16)
     for start in range(0, k, _HGEMM_BLOCK):
         stop = min(start + _HGEMM_BLOCK, k)
-        partial = (
-            a16[:, start:stop].astype(np.float32)
-            @ b16[start:stop, :].astype(np.float32)
-        ).astype(np.float16)
-        acc = (acc.astype(np.float32) + partial.astype(np.float32)).astype(
-            np.float16
+        partial = _round16(
+            _widen32(a16[:, start:stop]) @ _widen32(b16[start:stop, :])
         )
+        acc = _round16(_widen32(acc) + _widen32(partial))
     return acc
+
+
+def _round16(array: np.ndarray) -> np.ndarray:
+    """Round into the emulated binary16 accumulator register — the one
+    place a raw narrowing cast is the point."""
+    return array.astype(np.float16)  # lint: ignore[LINT005]
+
+
+def _widen32(array: np.ndarray) -> np.ndarray:
+    """Binary16 operand promoted to the binary32 multiply unit."""
+    return array.astype(np.float32)  # lint: ignore[LINT005]
 
 
 def potrf(c: Tile, index: tuple[int, int] | None = None) -> DenseTile:

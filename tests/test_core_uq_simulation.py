@@ -11,7 +11,7 @@ from repro.core import (
     observed_information,
     profile_likelihood,
 )
-from repro.exceptions import OptimizationError, ParameterError
+from repro.exceptions import ParameterError
 from repro.kernels import MaternKernel
 from repro.ordering import order_points
 

@@ -19,8 +19,8 @@ class TestPresets:
 
     def test_default_accuracy_1e8(self):
         """Both adaptive knobs default to the paper's 1e-8 tolerance."""
-        assert MP_DENSE_TLR.mp_accuracy == 1e-8
-        assert MP_DENSE_TLR.tlr_tol == 1e-8
+        assert MP_DENSE_TLR.mp_accuracy == pytest.approx(1e-8)
+        assert MP_DENSE_TLR.tlr_tol == pytest.approx(1e-8)
 
 
 class TestLookup:

@@ -59,7 +59,7 @@ class TestNuggetKernel:
     def test_split_theta(self):
         kern = NuggetKernel(MaternKernel())
         base, nug = kern.split_theta(np.array([1.0, 0.1, 0.5, 0.2]))
-        assert nug == 0.2
+        assert nug == pytest.approx(0.2)
         assert base.shape == (3,)
 
 

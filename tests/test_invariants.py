@@ -76,7 +76,6 @@ class TestWireBytesInvariants:
             assert plan_wire_bytes(plan, key) <= dense64
 
     def test_lr_bytes_scale_with_rank(self):
-        layout = TileLayout(128, 32)
         base = make_plan(4, 32, lr_offsets=(2, 3))
         small = plan_wire_bytes(base, (3, 0))
         base.meta["ranks"][(3, 0)] *= 2

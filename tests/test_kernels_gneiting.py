@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ParameterError, ShapeError
-from repro.kernels import GneitingMaternKernel, temporal_decay
+from repro.kernels import temporal_decay
 from repro.kernels.matern import matern_correlation
 
 THETA = np.array([1.0, 0.5, 0.8, 0.7, 0.6, 0.4])

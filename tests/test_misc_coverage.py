@@ -26,7 +26,7 @@ from repro.tile import Precision
 
 class TestConfigDefaults:
     def test_paper_values(self):
-        assert config.DEFAULT_TLR_TOLERANCE == 1e-8
+        assert config.DEFAULT_TLR_TOLERANCE == pytest.approx(1e-8)
         assert config.DEFAULT_BAND_FLUCTUATION == 1.0
         assert 0 < config.DEFAULT_MAX_RANK_FRACTION <= 1.0
 

@@ -1,7 +1,6 @@
 """End-to-end model tests with the extension kernels."""
 
 import numpy as np
-import pytest
 
 from repro import ExaGeoStatModel
 from repro.data import sample_gaussian_field

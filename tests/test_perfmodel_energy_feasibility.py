@@ -5,7 +5,6 @@ import pytest
 
 from repro.perfmodel import (
     A64FX,
-    A64FX_ENERGY,
     PlanProfile,
     TaskShape,
     estimate_energy,

@@ -21,7 +21,7 @@ class TestTask:
 
     def test_frozen(self):
         t = Task(0, "potrf", 0, output=(0, 0))
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             t.op = "trsm"
 
 

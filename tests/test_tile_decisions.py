@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.exceptions import ConfigurationError
 from repro.perfmodel import A64FX
 from repro.tile import (
-    DenseTile,
     Precision,
     TileLayout,
     TileMatrix,

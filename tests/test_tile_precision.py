@@ -47,7 +47,7 @@ class TestPrecision:
         assert Precision.from_any(np.dtype(np.float16)) is Precision.FP16
 
     def test_from_any_rejects_garbage(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             Precision.from_any("fp128")
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.core import (
     DENSE_FP64,
     MP_DENSE_TLR,
-    MP_DENSE_TLR_RECOVER,
     fit_mle,
     get_variant,
     loglikelihood,
