@@ -1,6 +1,7 @@
 """The paper's contribution, user-facing: variants, likelihood, MLE,
 prediction, and the :class:`~repro.core.model.ExaGeoStatModel` API."""
 
+from .engine import EngineStats, EvaluationEngine
 from .likelihood import (
     LikelihoodResult,
     loglikelihood,
@@ -28,6 +29,8 @@ from .variants import (
 
 __all__ = [
     "ExaGeoStatModel",
+    "EvaluationEngine",
+    "EngineStats",
     "VariantConfig",
     "DENSE_FP64",
     "MP_DENSE",

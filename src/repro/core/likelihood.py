@@ -16,10 +16,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import ShapeError
+from ..exceptions import NotPositiveDefiniteError, SchedulingError, ShapeError
 from ..kernels.base import CovarianceKernel
 from ..tile.assembly import AssemblyReport, build_planned_covariance
 from ..tile.cholesky import CholeskyStats, tile_cholesky
+from ..tile.compression import use_fast_lr
+from ..tile.geometry import GeometryCache, TileGeometry
 from ..tile.matrix import TileMatrix
 from ..tile.recovery import RecoveryReport, factor_with_recovery
 from ..tile.solve import forward_solve, tile_logdet
@@ -64,6 +66,48 @@ def _check_observations(x: np.ndarray, z: np.ndarray) -> np.ndarray:
     return z
 
 
+def _factor_planned(
+    matrix: TileMatrix,
+    *,
+    tile_tol: float,
+    max_rank: int | None,
+    fp16_accumulate_fp32: bool,
+    workers: int,
+) -> tuple[TileMatrix, CholeskyStats]:
+    """Factor a planned covariance, sequentially or on the threaded DAG
+    executor.
+
+    The parallel engine wraps task failures in
+    :class:`~repro.exceptions.SchedulingError`; an underlying
+    :class:`~repro.exceptions.NotPositiveDefiniteError` is unwrapped
+    here so MLE drivers and the recovery ladder see the same exception
+    either way.
+    """
+    if workers <= 1:
+        return tile_cholesky(
+            matrix,
+            tile_tol=tile_tol,
+            max_rank=max_rank,
+            fp16_accumulate_fp32=fp16_accumulate_fp32,
+        )
+    from ..runtime.parallel import execute_cholesky_parallel
+
+    try:
+        factored, run = execute_cholesky_parallel(
+            matrix,
+            workers=workers,
+            tile_tol=tile_tol,
+            max_rank=max_rank,
+            fp16_accumulate_fp32=fp16_accumulate_fp32,
+        )
+    except SchedulingError as exc:
+        cause = exc.__cause__
+        if isinstance(cause, NotPositiveDefiniteError):
+            raise cause from exc
+        raise
+    return factored, run.stats
+
+
 def loglikelihood(
     kernel: CovarianceKernel,
     theta: np.ndarray,
@@ -73,6 +117,11 @@ def loglikelihood(
     tile_size: int,
     variant: "str | VariantConfig" = DENSE_FP64,
     nugget: float = 0.0,
+    geometry: TileGeometry | None = None,
+    cache: GeometryCache | None = None,
+    rank_hints: "dict[tuple[int, int], int] | None" = None,
+    workers: int | None = None,
+    fast_lr: bool | None = None,
 ) -> LikelihoodResult:
     """Evaluate Eq. (1) through the tiled Cholesky pipeline.
 
@@ -84,10 +133,23 @@ def loglikelihood(
     :class:`~repro.tile.recovery.RecoveryReport` on ``result.recovery``
     and only exhaustion raises (as
     :class:`~repro.exceptions.RecoveryExhaustedError`).
+
+    The hot-path knobs (``geometry``/``cache``, ``rank_hints``,
+    ``workers``, ``fast_lr``) are documented on
+    :func:`~repro.tile.assembly.build_planned_covariance`; ``workers``
+    and ``fast_lr`` default to the variant's settings.  The
+    :class:`~repro.core.engine.EvaluationEngine` wires them together
+    for repeated evaluations.
     """
     cfg = get_variant(variant)
     z = _check_observations(x, z)
     max_rank = int(cfg.max_rank_fraction * tile_size) or None
+    nworkers = cfg.workers if workers is None else max(1, int(workers))
+    fast = cfg.fast_lr if fast_lr is None else bool(fast_lr)
+    hotpath = dict(
+        geometry=geometry, cache=cache, rank_hints=rank_hints,
+        sketch=fast, workers=nworkers,
+    )
     recovery: RecoveryReport | None = None
     if cfg.recovery is not None:
 
@@ -95,27 +157,36 @@ def loglikelihood(
             extra = overrides.pop("extra_nugget", 0.0)
             return build_planned_covariance(
                 kernel, theta, x, tile_size, nugget=nugget + extra,
-                **overrides, **cfg.assembly_kwargs(),
+                **overrides, **hotpath, **cfg.assembly_kwargs(),
             )
 
-        factor, stats, report, rec = factor_with_recovery(
-            rebuild,
-            policy=cfg.recovery,
-            max_rank=max_rank,
-            fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-        )
+        def factor_fn(matrix, *, tile_tol):
+            return _factor_planned(
+                matrix, tile_tol=tile_tol, max_rank=max_rank,
+                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                workers=nworkers,
+            )
+
+        with use_fast_lr(fast):
+            factor, stats, report, rec = factor_with_recovery(
+                rebuild,
+                policy=cfg.recovery,
+                max_rank=max_rank,
+                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                factor_fn=factor_fn,
+            )
         recovery = rec if rec.actions else None
     else:
         matrix, report = build_planned_covariance(
             kernel, theta, x, tile_size, nugget=nugget,
-            **cfg.assembly_kwargs(),
+            **hotpath, **cfg.assembly_kwargs(),
         )
-        factor, stats = tile_cholesky(
-            matrix,
-            tile_tol=report.tile_tol,
-            max_rank=max_rank,
-            fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-        )
+        with use_fast_lr(fast):
+            factor, stats = _factor_planned(
+                matrix, tile_tol=report.tile_tol, max_rank=max_rank,
+                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                workers=nworkers,
+            )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z)
     quad = float(y @ y)
@@ -143,6 +214,11 @@ def loglikelihood_replicated(
     tile_size: int,
     variant: "str | VariantConfig" = DENSE_FP64,
     nugget: float = 0.0,
+    geometry: TileGeometry | None = None,
+    cache: GeometryCache | None = None,
+    rank_hints: "dict[tuple[int, int], int] | None" = None,
+    workers: int | None = None,
+    fast_lr: bool | None = None,
 ) -> np.ndarray:
     """Log-likelihoods of many independent replicates sharing one
     location set (the Fig. 6 protocol: 100 synthetic fields at the same
@@ -151,6 +227,10 @@ def loglikelihood_replicated(
     Factors the covariance *once* and solves all replicates against it
     — amortizing the O(n^3) over the O(reps * n^2) solves.  Returns one
     value per row of ``z_replicates``.
+
+    Variants with a :class:`~repro.tile.recovery.RecoveryPolicy` route
+    through the same recovery ladder as :func:`loglikelihood`, so an
+    indefinite planned covariance is rescued rather than raised.
     """
     cfg = get_variant(variant)
     z = np.asarray(z_replicates, dtype=np.float64)
@@ -160,16 +240,48 @@ def loglikelihood_replicated(
         raise ShapeError(
             f"{len(x)} locations but replicate length {z.shape[1]}"
         )
-    matrix, report = build_planned_covariance(
-        kernel, theta, x, tile_size, nugget=nugget, **cfg.assembly_kwargs()
-    )
     max_rank = int(cfg.max_rank_fraction * tile_size) or None
-    factor, _ = tile_cholesky(
-        matrix,
-        tile_tol=report.tile_tol,
-        max_rank=max_rank,
-        fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+    nworkers = cfg.workers if workers is None else max(1, int(workers))
+    fast = cfg.fast_lr if fast_lr is None else bool(fast_lr)
+    hotpath = dict(
+        geometry=geometry, cache=cache, rank_hints=rank_hints,
+        sketch=fast, workers=nworkers,
     )
+    if cfg.recovery is not None:
+
+        def rebuild(**overrides):
+            extra = overrides.pop("extra_nugget", 0.0)
+            return build_planned_covariance(
+                kernel, theta, x, tile_size, nugget=nugget + extra,
+                **overrides, **hotpath, **cfg.assembly_kwargs(),
+            )
+
+        def factor_fn(matrix, *, tile_tol):
+            return _factor_planned(
+                matrix, tile_tol=tile_tol, max_rank=max_rank,
+                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                workers=nworkers,
+            )
+
+        with use_fast_lr(fast):
+            factor, _, report, _ = factor_with_recovery(
+                rebuild,
+                policy=cfg.recovery,
+                max_rank=max_rank,
+                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                factor_fn=factor_fn,
+            )
+    else:
+        matrix, report = build_planned_covariance(
+            kernel, theta, x, tile_size, nugget=nugget,
+            **hotpath, **cfg.assembly_kwargs(),
+        )
+        with use_fast_lr(fast):
+            factor, _ = _factor_planned(
+                matrix, tile_tol=report.tile_tol, max_rank=max_rank,
+                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                workers=nworkers,
+            )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z.T)  # (n, reps)
     quads = np.einsum("ij,ij->j", y, y)

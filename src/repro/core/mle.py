@@ -27,8 +27,9 @@ from ..exceptions import NotPositiveDefiniteError, ParameterError
 from ..kernels.base import CovarianceKernel
 from ..optim.bounds import BoundTransform
 from ..optim.neldermead import nelder_mead
+from ..tile.geometry import GeometryCache
 from ..tile.recovery import RecoveryReport
-from .likelihood import loglikelihood
+from .engine import EvaluationEngine
 from .variants import DENSE_FP64, VariantConfig, get_variant
 
 __all__ = ["MLEResult", "fit_mle"]
@@ -88,6 +89,9 @@ def fit_mle(
     time_budget_s: float | None = None,
     checkpoint_path: str | None = None,
     checkpoint_every: int = 10,
+    workers: int | None = None,
+    cache: "GeometryCache | bool | None" = None,
+    fast_lr: bool | None = None,
 ) -> MLEResult:
     """Fit kernel parameters by maximum likelihood.
 
@@ -103,6 +107,14 @@ def fit_mle(
     optimizer state every ``checkpoint_every`` iterations and resumes
     from an existing file (see
     :func:`~repro.optim.neldermead.nelder_mead`).
+
+    Evaluations run on an :class:`~repro.core.engine.EvaluationEngine`:
+    theta-independent tile geometry is computed once and reused across
+    the whole fit (``cache=False`` disables the reuse), ``workers``
+    sets the generation/factorization thread pool, and ``fast_lr``
+    opts into the fast low-rank arithmetic (see
+    :class:`~repro.core.variants.VariantConfig`); each defaults to the
+    variant's setting.
     """
     cfg = get_variant(variant)
     transform = BoundTransform.from_specs(kernel.param_specs)
@@ -110,6 +122,10 @@ def fit_mle(
         theta0 = kernel.default_theta()
     theta0 = kernel.validate_theta(theta0)
     u0 = transform.to_unconstrained(theta0)
+    engine = EvaluationEngine(
+        kernel, x, z, tile_size=tile_size, variant=cfg, nugget=nugget,
+        cache=cache, workers=workers, fast_lr=fast_lr,
+    )
 
     failures = 0
     nfev = 0
@@ -127,10 +143,7 @@ def fit_mle(
         nfev += 1
         theta = transform.to_constrained(u)
         try:
-            result = loglikelihood(
-                kernel, theta, x, z,
-                tile_size=tile_size, variant=cfg, nugget=nugget,
-            )
+            result = engine.evaluate(theta)
         except (NotPositiveDefiniteError, ParameterError):
             # RecoveryExhaustedError lands here too: an indefinite
             # covariance the ladder could not rescue is still just a

@@ -27,6 +27,7 @@ from ..kernels import (
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
 from ..ordering import order_points
+from ..tile.geometry import GeometryCache
 from ..tile.matrix import TileMatrix
 from .likelihood import LikelihoodResult, loglikelihood
 from .mle import MLEResult, fit_mle
@@ -98,6 +99,9 @@ class ExaGeoStatModel:
         self._x: np.ndarray | None = None
         self._z: np.ndarray | None = None
         self._factor: TileMatrix | None = None
+        # Shared across fit / refit / predict: geometry depends only on
+        # the locations, which the model pins at fit time.
+        self._cache = GeometryCache()
 
     # ------------------------------------------------------------------
     @property
@@ -134,6 +138,7 @@ class ExaGeoStatModel:
     ) -> "ExaGeoStatModel":
         """Estimate kernel parameters by maximum likelihood."""
         xo, zo = self._ordered(x, z)
+        mle_kwargs.setdefault("cache", self._cache)
         result = fit_mle(
             self.kernel, xo, zo,
             tile_size=self.tile_size, variant=self.variant,
@@ -162,7 +167,7 @@ class ExaGeoStatModel:
         result = loglikelihood(
             self.kernel, self.theta_, self._x, self._z,
             tile_size=self.tile_size, variant=self.variant,
-            nugget=self.nugget,
+            nugget=self.nugget, cache=self._cache,
         )
         self.loglik_ = result.value
         return result
@@ -185,6 +190,7 @@ class ExaGeoStatModel:
             as_locations(x_new, dim=self.kernel.ndim_locations),
             factor,
             return_uncertainty=return_uncertainty,
+            cache=self._cache,
         )
 
     def simulate(

@@ -21,6 +21,7 @@ from ..config import PREDICT_BATCH
 from ..exceptions import ShapeError
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
+from ..tile.geometry import GeometryCache
 from ..tile.matrix import TileMatrix
 from ..tile.solve import backward_solve, forward_solve
 
@@ -50,12 +51,17 @@ def kriging_predict(
     *,
     return_uncertainty: bool = False,
     batch: int = PREDICT_BATCH,
+    cache: GeometryCache | None = None,
 ) -> PredictionResult:
     """Predict at ``x_test`` given a factored training covariance.
 
     ``factor`` must be the tile Cholesky factor of
     ``Sigma_nn(theta)`` over ``x_train`` (as produced by the
     likelihood evaluation at the fitted parameters).
+
+    ``cache`` reuses the theta-independent cross geometry (train/test
+    distances) across repeated predictions at the same locations —
+    e.g. re-predicting after a parameter update.
     """
     x_train = as_locations(x_train)
     x_test = as_locations(x_test)
@@ -76,7 +82,11 @@ def kriging_predict(
     marginal = kernel.variance(theta)
     for start in range(0, m, batch):
         stop = min(start + batch, m)
-        cross = kernel(theta, x_train, x_test[start:stop])  # (n, mb)
+        if cache is not None:
+            geom = cache.pair_geometry(kernel, x_train, x_test[start:stop])
+            cross = kernel.from_geometry(theta, geom)  # (n, mb)
+        else:
+            cross = kernel(theta, x_train, x_test[start:stop])  # (n, mb)
         mean[start:stop] = cross.T @ weights
         if variance is not None:
             half = forward_solve(factor, cross)  # L^{-1} Sigma_nm

@@ -44,6 +44,13 @@ class VariantConfig:
     enables the numerical recovery ladder: instead of failing on an
     indefinite planned covariance, the likelihood retries with
     escalating precision/structure promotion and bounded jitter.
+
+    ``workers`` sets the thread-pool width for tile generation,
+    compression, and the DAG Cholesky executor (1 = the sequential
+    reference path, bit-identical for dense FP64).  ``fast_lr`` opts
+    into the raw-LAPACK low-rank arithmetic and warm-started sketch
+    compression — same error tolerance, different rounding, so it is
+    off by default.
     """
 
     name: str
@@ -61,8 +68,12 @@ class VariantConfig:
     shgemm_mode: str = "sgemm_fallback"
     machine: MachineSpec = field(default=A64FX)
     recovery: RecoveryPolicy | None = None
+    workers: int = 1
+    fast_lr: bool = False
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
         if self.mp_mode not in ("adaptive", "band"):
             raise ConfigurationError(f"unknown mp_mode {self.mp_mode!r}")
         if self.structure_mode not in ("rank", "perfmodel"):

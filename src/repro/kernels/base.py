@@ -20,7 +20,23 @@ import numpy as np
 from ..exceptions import ParameterError
 from .distance import as_locations
 
-__all__ = ["ParameterSpec", "CovarianceKernel", "check_theta"]
+__all__ = ["ParameterSpec", "CovarianceKernel", "PairGeometry", "check_theta"]
+
+
+@dataclass(frozen=True)
+class PairGeometry:
+    """Fallback theta-independent geometry: the validated location pair.
+
+    Kernels that do not override :meth:`CovarianceKernel.prepare_geometry`
+    get this; :meth:`CovarianceKernel.from_geometry` then simply re-runs
+    the usual ``_cross`` evaluation (no reuse, but full correctness).
+    ``same`` records that the two sets are one set — the diagonal-tile
+    case, where exact-zero self-distances matter.
+    """
+
+    x1: np.ndarray
+    x2: np.ndarray
+    same: bool
 
 
 @dataclass(frozen=True)
@@ -103,6 +119,58 @@ class CovarianceKernel(abc.ABC):
         x1 = as_locations(x1, dim=self.ndim_locations)
         x2 = x1 if x2 is None else as_locations(x2, dim=self.ndim_locations)
         return self._cross(theta, x1, x2)
+
+    # ------------------------------------------------------------------
+    # theta-independent geometry (the MLE hot-path cache, PR 3)
+    # ------------------------------------------------------------------
+    def geometry_key(self) -> str:
+        """Identity of this kernel's precomputed-geometry layout.
+
+        Two kernels whose keys match may share cached geometry for the
+        same location array.  The default covers stateless kernels; a
+        kernel whose geometry depends on extra instance state must fold
+        that state into the key (see :class:`~repro.kernels.nugget.NuggetKernel`).
+        """
+        return f"{type(self).__qualname__}/{self.ndim_locations}"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> object:
+        """Precompute everything a tile evaluation needs that does *not*
+        depend on ``theta`` (distances, space-time lags, coordinate
+        differences...).
+
+        The returned object is opaque: it is only ever handed back to
+        :meth:`from_geometry` of the same kernel.  The base
+        implementation stores the validated locations themselves, so
+        every kernel supports the API even without opting in.
+        """
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        same = x2 is None
+        x2v = x1 if same else as_locations(x2, dim=self.ndim_locations)
+        return PairGeometry(x1, x2v, same)
+
+    def from_geometry(self, theta: np.ndarray, geom: object) -> np.ndarray:
+        """Cross-covariance from precomputed geometry.
+
+        Equivalent to ``self(theta, x1, x2)`` on the location pair the
+        geometry was prepared from, but skipping every theta-independent
+        computation.  Kernels that opt in must keep the arithmetic
+        bit-compatible with ``_cross`` wherever possible (the geometry
+        cache is on by default in :func:`~repro.core.mle.fit_mle`) and
+        must never mutate the cached arrays.
+        """
+        theta = self.validate_theta(theta)
+        return self._cross_geometry(theta, geom)
+
+    def _cross_geometry(self, theta: np.ndarray, geom: object) -> np.ndarray:
+        """Evaluate on validated ``theta``; override together with
+        :meth:`prepare_geometry`."""
+        if not isinstance(geom, PairGeometry):  # pragma: no cover - misuse
+            raise ParameterError(
+                f"{type(self).__name__} got foreign geometry {type(geom).__name__}"
+            )
+        return self._cross(theta, geom.x1, geom.x2)
 
     def covariance_matrix(
         self, theta: np.ndarray, x: np.ndarray, *, nugget: float = 0.0

@@ -30,15 +30,28 @@ construction.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy import special
 
 from ..exceptions import ShapeError
 from .base import CovarianceKernel, ParameterSpec
-from .distance import cross_distance
+from .distance import as_locations, cross_distance
 from .matern import matern_correlation
 
-__all__ = ["BivariateMaternKernel", "parsimonious_rho_max", "stack_bivariate"]
+__all__ = ["BivariateMaternKernel", "BivariateGeometry", "parsimonious_rho_max", "stack_bivariate"]
+
+
+@dataclass(frozen=True)
+class BivariateGeometry:
+    """Cached spatial distances plus the variable-index masks of a
+    bivariate tile (the variable column is theta-independent)."""
+
+    h: np.ndarray
+    v1: np.ndarray
+    v2: np.ndarray
+    same: bool
 
 
 def parsimonious_rho_max(nu1: float, nu2: float, d: int = 2) -> float:
@@ -116,6 +129,46 @@ class BivariateMaternKernel(CovarianceKernel):
                 continue
             for b in (0, 1):
                 mask2 = v2 == b
+                if not np.any(mask2):
+                    continue
+                block = matern_correlation(h[np.ix_(mask1, mask2)], nus[(a, b)])
+                out[np.ix_(mask1, mask2)] = (
+                    rhos[(a, b)] * sigmas[a] * sigmas[b] * block
+                )
+        return out
+
+    def geometry_key(self) -> str:
+        return f"bivariate/{self.spatial_dim}"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> BivariateGeometry:
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        same = x2 is None
+        x2v = x1 if same else as_locations(x2, dim=self.ndim_locations)
+        s1, v1 = x1[:, :2], x1[:, 2]
+        s2, v2 = (s1, v1) if same else (x2v[:, :2], x2v[:, 2])
+        if not (np.all(np.isin(v1, (0.0, 1.0))) and np.all(np.isin(v2, (0.0, 1.0)))):
+            raise ShapeError("variable column must contain only 0 or 1")
+        return BivariateGeometry(cross_distance(s1, s2), v1, v2, same)
+
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: BivariateGeometry
+    ) -> np.ndarray:
+        var1, var2, rng, nu1, nu2, beta = theta
+        nu12 = 0.5 * (nu1 + nu2)
+        rho12 = beta * parsimonious_rho_max(nu1, nu2, self.spatial_dim)
+        sigmas = np.array([np.sqrt(var1), np.sqrt(var2)])
+        nus = {(0, 0): nu1, (1, 1): nu2, (0, 1): nu12, (1, 0): nu12}
+        rhos = {(0, 0): 1.0, (1, 1): 1.0, (0, 1): rho12, (1, 0): rho12}
+        h = geom.h / rng
+        out = np.empty_like(h)
+        for a in (0, 1):
+            mask1 = geom.v1 == a
+            if not np.any(mask1):
+                continue
+            for b in (0, 1):
+                mask2 = geom.v2 == b
                 if not np.any(mask2):
                     continue
                 block = matern_correlation(h[np.ix_(mask1, mask2)], nus[(a, b)])

@@ -16,12 +16,29 @@ from __future__ import annotations
 import numpy as np
 
 from .base import CovarianceKernel, ParameterSpec
-from .distance import cross_distance, cross_sq_distance
+from .distance import as_locations, cross_distance, cross_sq_distance
+from .matern import DistanceGeometry
 
 __all__ = ["ExponentialKernel", "PoweredExponentialKernel", "GaussianKernel"]
 
 
-class ExponentialKernel(CovarianceKernel):
+class _DistanceGeometryMixin:
+    """Shared geometry plumbing for kernels that only need the
+    Euclidean distance matrix (theta enters afterwards)."""
+
+    def geometry_key(self) -> str:
+        return f"dist/{self.ndim_locations}"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> DistanceGeometry:
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        same = x2 is None
+        x2v = x1 if same else as_locations(x2, dim=self.ndim_locations)
+        return DistanceGeometry(cross_distance(x1, x2v), same)
+
+
+class ExponentialKernel(_DistanceGeometryMixin, CovarianceKernel):
     """``C(r) = variance * exp(-r / range)`` — Matérn with ``nu = 1/2``."""
 
     def __init__(self, ndim: int | None = 2):
@@ -40,8 +57,15 @@ class ExponentialKernel(CovarianceKernel):
         r /= -rng
         return variance * np.exp(r, out=r)
 
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: DistanceGeometry
+    ) -> np.ndarray:
+        variance, rng = theta
+        r = geom.r / -rng
+        return variance * np.exp(r, out=r)
 
-class PoweredExponentialKernel(CovarianceKernel):
+
+class PoweredExponentialKernel(_DistanceGeometryMixin, CovarianceKernel):
     """``C(r) = variance * exp(-(r / range)^power)``, ``0 < power <= 2``."""
 
     def __init__(self, ndim: int | None = 2):
@@ -59,6 +83,16 @@ class PoweredExponentialKernel(CovarianceKernel):
         variance, rng, power = theta
         r = cross_distance(x1, x2)
         r /= rng
+        out = np.zeros_like(r)
+        positive = r > 0.0
+        out[positive] = np.exp(power * np.log(r[positive]))
+        return variance * np.exp(-out, out=out)
+
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: DistanceGeometry
+    ) -> np.ndarray:
+        variance, rng, power = theta
+        r = geom.r / rng
         out = np.zeros_like(r)
         positive = r > 0.0
         out[positive] = np.exp(power * np.log(r[positive]))
@@ -84,4 +118,23 @@ class GaussianKernel(CovarianceKernel):
         variance, rng = theta
         d2 = cross_sq_distance(x1, x2)
         d2 /= -2.0 * rng * rng
+        return variance * np.exp(d2, out=d2)
+
+    def geometry_key(self) -> str:
+        return f"sqdist/{self.ndim_locations}"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> DistanceGeometry:
+        # Squared distances (what the kernel consumes directly).
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        same = x2 is None
+        x2v = x1 if same else as_locations(x2, dim=self.ndim_locations)
+        return DistanceGeometry(cross_sq_distance(x1, x2v), same)
+
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: DistanceGeometry
+    ) -> np.ndarray:
+        variance, rng = theta
+        d2 = geom.r / (-2.0 * rng * rng)
         return variance * np.exp(d2, out=d2)

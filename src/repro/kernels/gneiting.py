@@ -32,13 +32,25 @@ the substitution (see :mod:`repro.data.evapotranspiration`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .base import CovarianceKernel, ParameterSpec
-from .distance import cross_space_time_lags
+from .distance import as_locations, cross_space_time_lags
 from .matern import matern_correlation
 
-__all__ = ["GneitingMaternKernel", "temporal_decay"]
+__all__ = ["GneitingMaternKernel", "SpaceTimeGeometry", "temporal_decay"]
+
+
+@dataclass(frozen=True)
+class SpaceTimeGeometry:
+    """Cached spatial distances ``‖h‖`` and temporal lags ``|u|`` —
+    everything of Eq. (6) that does not depend on theta."""
+
+    h: np.ndarray
+    u: np.ndarray
+    same: bool
 
 
 def temporal_decay(u: np.ndarray, a_t: float, alpha: float) -> np.ndarray:
@@ -87,6 +99,35 @@ class GneitingMaternKernel(CovarianceKernel):
             arg = h / (a_s * scale)
         else:
             arg = h / a_s
+        c = matern_correlation(arg, nu)
+        c *= variance
+        c /= psi
+        return c
+
+    def geometry_key(self) -> str:
+        return f"spacetime/{self.space_dim}"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> SpaceTimeGeometry:
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        same = x2 is None
+        x2v = x1 if same else as_locations(x2, dim=self.ndim_locations)
+        h, u = cross_space_time_lags(x1, x2v)
+        return SpaceTimeGeometry(h, u, same)
+
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: SpaceTimeGeometry
+    ) -> np.ndarray:
+        # Mirrors _cross from the (h, u) lags onward; no cached array is
+        # mutated (temporal_decay and matern_correlation both allocate).
+        variance, a_s, nu, a_t, alpha, beta = theta
+        psi = temporal_decay(geom.u, a_t, alpha)
+        if beta > 0.0:
+            scale = np.exp((beta / 2.0) * np.log(psi))
+            arg = geom.h / (a_s * scale)
+        else:
+            arg = geom.h / a_s
         c = matern_correlation(arg, nu)
         c *= variance
         c /= psi

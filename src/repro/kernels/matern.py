@@ -19,13 +19,27 @@ Implementation notes
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy import special
 
 from .base import CovarianceKernel, ParameterSpec
-from .distance import cross_distance
+from .distance import as_locations, cross_distance
 
-__all__ = ["matern_correlation", "MaternKernel"]
+__all__ = ["matern_correlation", "DistanceGeometry", "MaternKernel"]
+
+
+@dataclass(frozen=True)
+class DistanceGeometry:
+    """Cached Euclidean distances for isotropic kernels.
+
+    ``r`` carries the exact-zero diagonal of same-set evaluation when
+    ``same`` is true; consumers must not mutate it.
+    """
+
+    r: np.ndarray
+    same: bool
 
 _HALF_INTEGER_TOL = 1.0e-12
 
@@ -130,6 +144,31 @@ class MaternKernel(CovarianceKernel):
         variance, rng, nu = theta
         r = cross_distance(x1, x2)
         r /= rng
+        c = variance * matern_correlation(r, nu)
+        if self.nugget:
+            c[r == 0.0] += self.nugget
+        return c
+
+    def geometry_key(self) -> str:
+        # Plain Euclidean distances: shareable with every other
+        # isotropic kernel over the same locations.
+        return f"dist/{self.ndim_locations}"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> DistanceGeometry:
+        x1 = as_locations(x1, dim=self.ndim_locations)
+        same = x2 is None
+        x2v = x1 if same else as_locations(x2, dim=self.ndim_locations)
+        return DistanceGeometry(cross_distance(x1, x2v), same)
+
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: DistanceGeometry
+    ) -> np.ndarray:
+        # Same operation sequence as _cross on a fresh scaled-distance
+        # array, so cached evaluation is bit-identical to the direct one.
+        variance, rng, nu = theta
+        r = geom.r / rng
         c = variance * matern_correlation(r, nu)
         if self.nugget:
             c[r == 0.0] += self.nugget

@@ -15,11 +15,22 @@ diagonal tiles on a single location set.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .base import CovarianceKernel, ParameterSpec
 
-__all__ = ["NuggetKernel"]
+__all__ = ["NuggetKernel", "NuggetGeometry"]
+
+
+@dataclass(frozen=True)
+class NuggetGeometry:
+    """The wrapped base kernel's geometry plus the same-set flag the
+    diagonal nugget needs."""
+
+    base: object
+    same: bool
 
 
 class NuggetKernel(CovarianceKernel):
@@ -42,6 +53,25 @@ class NuggetKernel(CovarianceKernel):
     def _cross(self, theta: np.ndarray, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
         c = self.base._cross(theta[:-1], x1, x2)
         if x1 is x2:
+            c = c.copy()
+            c[np.diag_indices_from(c)] += theta[-1]
+        return c
+
+    def geometry_key(self) -> str:
+        return f"nugget({self.base.geometry_key()})"
+
+    def prepare_geometry(
+        self, x1: np.ndarray, x2: np.ndarray | None = None
+    ) -> NuggetGeometry:
+        return NuggetGeometry(self.base.prepare_geometry(x1, x2), x2 is None)
+
+    def _cross_geometry(
+        self, theta: np.ndarray, geom: NuggetGeometry
+    ) -> np.ndarray:
+        c = self.base._cross_geometry(
+            self.base.validate_theta(theta[:-1]), geom.base
+        )
+        if geom.same:
             c = c.copy()
             c[np.diag_indices_from(c)] += theta[-1]
         return c

@@ -25,6 +25,7 @@ import networkx as nx
 
 from ..exceptions import SchedulingError
 from ..tile import kernels as K
+from ..tile.cholesky import CholeskyStats
 from ..tile.matrix import TileMatrix
 from .dag import build_dag
 from .scheduler import panel_priorities
@@ -42,6 +43,9 @@ class ParallelRunReport:
     wall_time_s: float
     max_concurrency: int = 1
     errors: list[str] = field(default_factory=list)
+    #: Kernel counts / densification tallies of the run, matching what
+    #: the sequential :func:`~repro.tile.cholesky.tile_cholesky` reports.
+    stats: CholeskyStats = field(default_factory=CholeskyStats)
 
 
 def execute_cholesky_parallel(
@@ -82,6 +86,8 @@ def execute_cholesky_parallel(
     running = 0
     max_running = 0
 
+    stats = CholeskyStats()
+
     def run_task(task: Task) -> None:
         if task.op == "potrf":
             out = K.potrf(matrix.get(*task.output), index=task.output)
@@ -99,13 +105,21 @@ def execute_cholesky_parallel(
             )
         else:
             amk, ank = task.inputs
+            was_lr = matrix.get(*task.output).is_low_rank
             out = K.gemm(
                 matrix.get(*amk), matrix.get(*ank),
                 matrix.get(*task.output),
                 tol=tile_tol, max_rank=max_rank,
                 fp16_accumulate_fp32=fp16_accumulate_fp32,
             )
+            with lock:
+                if was_lr and not out.is_low_rank:
+                    stats.densified_tiles += 1
+                if out.is_low_rank:
+                    stats.max_rank_seen = max(stats.max_rank_seen, out.rank)
         matrix.set(*task.output, out)
+        with lock:
+            stats.count(task.op)
 
     def worker_loop() -> None:
         nonlocal remaining, running, max_running
@@ -155,5 +169,6 @@ def execute_cholesky_parallel(
         tasks=len(tasks),
         wall_time_s=wall,
         max_concurrency=max_running,
+        stats=stats,
     )
     return matrix, report

@@ -12,11 +12,21 @@ from .bandtuning import autotune_band_size, subdiagonal_times
 from .cholesky import CholeskyStats, tile_cholesky
 from .compression import (
     compress_block,
+    compress_or_rank,
     compress_tile,
+    fast_lr_enabled,
+    frobenius_rank,
     lr_add,
     rank_of_block,
     recompress,
     truncated_svd,
+    use_fast_lr,
+)
+from .geometry import (
+    GeometryCache,
+    TileGeometry,
+    build_tile_geometry,
+    locations_fingerprint,
 )
 from .decisions import (
     TilePlan,
@@ -57,11 +67,19 @@ __all__ = [
     "TileLayout",
     "TileMatrix",
     "truncated_svd",
+    "frobenius_rank",
     "compress_block",
+    "compress_or_rank",
     "compress_tile",
     "recompress",
     "lr_add",
     "rank_of_block",
+    "use_fast_lr",
+    "fast_lr_enabled",
+    "GeometryCache",
+    "TileGeometry",
+    "build_tile_geometry",
+    "locations_fingerprint",
     "TilePlan",
     "frobenius_precision_map",
     "band_precision_map",

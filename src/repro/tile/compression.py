@@ -6,13 +6,30 @@ target accuracy, e.g. ``1e-8`` as in the paper).  Recompression after
 low-rank additions uses the standard QR-of-stacked-factors + small SVD
 scheme, which is what HiCMA does inside the TLR Cholesky update.
 
+Two optional fast paths serve the MLE hot loop (both opt-in, both
+leaving the default results untouched):
+
+* :func:`compress_or_rank` — assembly-side compression that never
+  builds truncated factors for tiles whose rank exceeds the cap, takes
+  a *warm rank hint* from the previous optimizer iteration (values-only
+  SVD early-out for tiles known to be over-cap; randomized range-finder
+  sketch for tiles known to be comfortably low-rank, with an exact-SVD
+  fallback whenever the sketch cannot certify the tolerance);
+* :func:`use_fast_lr` — a scoped switch routing :func:`recompress` /
+  :func:`lr_add` through raw LAPACK (``geqrf``/``orgqr``/``gesdd``
+  without the ``numpy.linalg`` wrapper overhead), which dominates the
+  TLR Cholesky update cost at small tile sizes.
+
 All factor arithmetic here runs in float64; storage precision is
 applied by the caller when wrapping results into tiles.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
+from scipy.linalg import get_lapack_funcs
 
 from ..exceptions import CompressionError
 from .precision import Precision
@@ -20,12 +37,31 @@ from .tile import DenseTile, LowRankTile
 
 __all__ = [
     "truncated_svd",
+    "frobenius_rank",
     "compress_block",
+    "compress_or_rank",
     "compress_tile",
     "recompress",
     "lr_add",
     "rank_of_block",
+    "use_fast_lr",
+    "fast_lr_enabled",
 ]
+
+
+def frobenius_rank(s: np.ndarray, tol: float) -> tuple[int, np.ndarray]:
+    """Numerical rank at absolute Frobenius tolerance ``tol`` from a
+    (descending) singular-value vector.
+
+    Returns ``(rank, tail)`` with ``tail[k] = ||s[k:]||_2``; the rank is
+    the smallest ``k`` with ``tail[k] <= tol`` (``len(s)`` when none).
+    Shared by every truncation decision in this module so the cutoff
+    arithmetic cannot drift between code paths.
+    """
+    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]
+    admissible = np.nonzero(tail <= tol)[0]
+    rank = int(admissible[0]) if admissible.size else len(s)
+    return rank, tail
 
 
 def truncated_svd(
@@ -44,10 +80,7 @@ def truncated_svd(
     a = np.asarray(a, dtype=np.float64)
     m, n = a.shape
     uu, s, vt = np.linalg.svd(a, full_matrices=False)
-    # Residual Frobenius norms: residual[k] = ||A - A_k||_F.
-    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]  # tail[k] = ||s[k:]||_2
-    admissible = np.nonzero(tail <= tol)[0]
-    rank = int(admissible[0]) if admissible.size else len(s)
+    rank, tail = frobenius_rank(s, tol)
     if max_rank is not None and rank > max_rank:
         raise CompressionError(
             f"tolerance {tol:g} needs rank {rank} > max_rank {max_rank} "
@@ -63,9 +96,103 @@ def rank_of_block(a: np.ndarray, tol: float) -> int:
     """Numerical rank of ``a`` at absolute Frobenius tolerance ``tol``
     (without forming factors)."""
     s = np.linalg.svd(np.asarray(a, dtype=np.float64), compute_uv=False)
-    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]
-    admissible = np.nonzero(tail <= tol)[0]
-    return int(admissible[0]) if admissible.size else len(s)
+    return frobenius_rank(s, tol)[0]
+
+
+_SKETCH_OVERSAMPLE = 8
+
+
+def _sketch_compress(
+    a: np.ndarray, tol: float, cap: int, hint: int, rng: np.random.Generator
+) -> tuple[int, np.ndarray, np.ndarray] | None:
+    """Randomized range-finder warm-started at ``hint`` columns.
+
+    Certifies the truncation with the computable bound
+
+        err(r)^2 = (||A||_F^2 - ||Q^T A||_F^2) + ||tail_r(Q^T A)||_2^2
+
+    (projection loss plus the dropped small-SVD tail) — only ranks the
+    sketch can *prove* within ``tol`` are accepted.  Returns ``None``
+    when the sketch cannot certify a rank ``<= cap`` (caller falls back
+    to the exact SVD), so accuracy never depends on the sketch quality.
+    """
+    m, n = a.shape
+    mn = min(m, n)
+    k = min(max(hint, 1) + _SKETCH_OVERSAMPLE, mn)
+    norm2 = float(np.sum(a * a))
+    for _ in range(2):  # one growth retry before the exact fallback
+        omega = rng.standard_normal((n, k))
+        q, _ = _thin_qr_fast(a @ omega)
+        b = q.T @ a  # (k, n)
+        proj2 = max(norm2 - float(np.sum(b * b)), 0.0)
+        # SVD of the small sketch via syev of its Gram matrix (same
+        # trade-off as :func:`_core_svd_fast`): eigenvalues *are* the
+        # squared singular values the error bound needs.
+        w, qb, info = _syev(b @ b.T)
+        if info != 0:
+            return None  # exact fallback
+        s2 = np.maximum(w[::-1], 0.0)
+        ub = qb[:, ::-1]
+        tail2 = np.append(np.cumsum(s2[::-1])[::-1], 0.0)
+        err = np.sqrt(proj2 + tail2)
+        admissible = np.nonzero(err <= tol)[0]
+        if admissible.size:
+            r = int(admissible[0])
+            if r > cap:
+                return None
+            if r < k or k == mn:
+                s = np.sqrt(s2[:r])
+                safe = np.maximum(s, np.finfo(np.float64).tiny)
+                u = q @ (ub[:, :r] * s)
+                # Right factor of b = Ub S Vb^T, kept columns only.
+                v = (b.T @ ub[:, :r]) / safe
+                return r, u, v
+        if k >= mn:
+            break
+        k = min(2 * k, mn)
+    return None
+
+
+def compress_or_rank(
+    a: np.ndarray,
+    tol: float,
+    *,
+    max_rank: int | None = None,
+    hint: int | None = None,
+    sketch: bool = False,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, np.ndarray | None, np.ndarray | None]:
+    """Compress one assembly tile, or report its rank when over the cap.
+
+    Returns ``(rank, u, v)``; ``u``/``v`` are ``None`` when
+    ``rank > max_rank`` — over-cap tiles never build truncated factors.
+    Without ``hint``/``sketch`` the result is bit-identical to
+    :func:`truncated_svd`.  A warm ``hint`` (the tile's rank at the
+    previous optimizer iterate) enables a values-only SVD early-out for
+    tiles expected to stay over the cap, and — with ``sketch=True`` —
+    the certified randomized range-finder for tiles expected to stay
+    well under it.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    cap = min(a.shape) if max_rank is None else min(int(max_rank), min(a.shape))
+    if hint is not None and hint > cap:
+        # Expected over-cap: values-only SVD (no U/V work), exact rank.
+        s = np.linalg.svd(a, compute_uv=False)
+        rank, _ = frobenius_rank(s, tol)
+        if rank > cap:
+            return rank, None, None
+        # Stale hint — fall through and build factors.
+    elif sketch and hint is not None and rng is not None:
+        out = _sketch_compress(a, tol, cap, hint, rng)
+        if out is not None:
+            return out
+    uu, s, vt = np.linalg.svd(a, full_matrices=False)
+    rank, _ = frobenius_rank(s, tol)
+    if rank > cap:
+        return rank, None, None
+    u = uu[:, :rank] * s[:rank]
+    v = vt[:rank, :].T
+    return rank, u, v
 
 
 def compress_block(
@@ -91,6 +218,103 @@ def compress_tile(
     )
 
 
+# ----------------------------------------------------------------------
+# Fast low-rank arithmetic (opt-in): raw LAPACK without wrapper overhead.
+# ----------------------------------------------------------------------
+
+_fast_lr = False
+
+_probe = np.empty(0, dtype=np.float64)
+_geqrf, _orgqr = get_lapack_funcs(("geqrf", "orgqr"), (_probe,))
+(_gesdd,) = get_lapack_funcs(("gesdd",), (_probe,))
+(_syev,) = get_lapack_funcs(("syev",), (_probe,))
+
+
+@contextmanager
+def use_fast_lr(enabled: bool = True):
+    """Scope within which :func:`recompress`/:func:`lr_add` take the raw
+    LAPACK fast path.
+
+    The switch is process-global and meant to bracket one whole
+    factorization: set it *before* launching worker threads and restore
+    it after they join (reader threads are fine; toggling concurrently
+    with a running factorization is not supported).  Results differ
+    from the default path only by floating-point rounding.
+    """
+    global _fast_lr
+    previous = _fast_lr
+    _fast_lr = bool(enabled)
+    try:
+        yield
+    finally:
+        _fast_lr = previous
+
+
+def fast_lr_enabled() -> bool:
+    """Whether the current scope runs the raw-LAPACK LR path."""
+    return _fast_lr
+
+
+def _thin_qr_fast(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Economy QR of an ``(m, k)`` array with ``k <= m`` via
+    ``geqrf``/``orgqr``; raises ``LinAlgError``-free, returns ``(q, r)``
+    or ``None``-signalled failure through info checks by the caller."""
+    k = a.shape[1]
+    qr_, tau, _, info = _geqrf(a)
+    if info != 0:
+        raise CompressionError(f"geqrf failed with info={info}")
+    r = np.triu(qr_[:k])
+    q, _, info = _orgqr(qr_[:, :k], tau)
+    if info != 0:
+        raise CompressionError(f"orgqr failed with info={info}")
+    return q, r
+
+
+def _core_svd_fast(
+    core: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SVD of the small ``k x k`` core via a symmetric eigensolve of its
+    Gram matrix (``syev`` beats ``gesdd`` by ~2x at these sizes).
+
+    Squaring halves the relative accuracy of singular values near
+    ``sqrt(eps) * s_max`` — harmless here because those values sit at or
+    below the truncation threshold; the split into kept/dropped can
+    shift by one index at the tolerance boundary, never the error bound.
+    """
+    w, q, info = _syev(core @ core.T)
+    if info != 0:
+        raise CompressionError(f"syev failed with info={info}")
+    s = np.sqrt(np.maximum(w[::-1], 0.0))
+    cu = q[:, ::-1]
+    # Right singular vectors of the kept part: V^T = S^{-1} U^T core,
+    # computed lazily by the caller for the kept rank only.
+    return cu, s, core
+
+
+def _recompress_fast(
+    u: np.ndarray, v: np.ndarray, tol: float, max_rank: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw-LAPACK recompression; same contract as :func:`recompress`."""
+    qu, ru = _thin_qr_fast(u)
+    qv, rv = _thin_qr_fast(v)
+    core = ru @ rv.T
+    cu, s, _ = _core_svd_fast(core)
+    rank, _ = frobenius_rank(s, tol)
+    if max_rank is not None and rank > max_rank:
+        raise CompressionError(
+            f"recompression to tolerance {tol:g} needs rank {rank} > {max_rank}"
+        )
+    if rank == 0:
+        return np.zeros((u.shape[0], 0)), np.zeros((v.shape[0], 0))
+    kept = cu[:, :rank]
+    # V^T rows for the kept columns only: S^{-1} U^T core.
+    safe = np.maximum(s[:rank], np.finfo(np.float64).tiny)
+    vt = (kept.T @ core) / safe[:, None]
+    new_u = qu @ (kept * s[:rank])
+    new_v = qv @ vt.T
+    return new_u, new_v
+
+
 def recompress(
     u: np.ndarray, v: np.ndarray, tol: float, max_rank: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -105,13 +329,13 @@ def recompress(
     k = u.shape[1]
     if k == 0:
         return u, v
+    if _fast_lr and k <= u.shape[0] and k <= v.shape[0]:
+        return _recompress_fast(u, v, tol, max_rank)
     qu, ru = np.linalg.qr(u)
     qv, rv = np.linalg.qr(v)
     core = ru @ rv.T
     cu, s, cvt = np.linalg.svd(core)
-    tail = np.sqrt(np.cumsum(s[::-1] ** 2))[::-1]
-    admissible = np.nonzero(tail <= tol)[0]
-    rank = int(admissible[0]) if admissible.size else len(s)
+    rank, _ = frobenius_rank(s, tol)
     if max_rank is not None and rank > max_rank:
         raise CompressionError(
             f"recompression to tolerance {tol:g} needs rank {rank} > {max_rank}"

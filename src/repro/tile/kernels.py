@@ -21,7 +21,7 @@ import numpy as np
 from scipy import linalg as sla
 
 from ..exceptions import CompressionError, NotPositiveDefiniteError, ShapeError
-from .compression import lr_add, truncated_svd
+from .compression import fast_lr_enabled, lr_add, truncated_svd
 from .precision import compute_dtype
 from .tile import DenseTile, LowRankTile, Tile
 
@@ -214,6 +214,26 @@ def gemm(
 
     # Low-rank C.
     assert isinstance(c, LowRankTile)
+    if fast_lr_enabled() and allow_densify:
+        # Fast path: no recompression inside the update chain at all.
+        # Stacked factors represent the accumulated update *exactly*;
+        # once the stacked width reaches the tile size the exact dense
+        # form is strictly cheaper than any further factor arithmetic,
+        # so the tile converts and stays dense.  This replaces one
+        # QR+SVD per GEMM (the dominant TLR factorization cost at small
+        # tile sizes) with a single matmul per tile lifetime.
+        if both_dense:
+            out = c.to_dense64() - a.to_dense64() @ b.to_dense64().T
+            return DenseTile(out, c.precision)
+        du, dv = _lr_update_factors(a, b)
+        cu = c.u.astype(np.float64)
+        cv = c.v.astype(np.float64)
+        if cu.shape[1] + du.shape[1] < min(c.shape):
+            return LowRankTile(
+                np.hstack([cu, -du]), np.hstack([cv, dv]), c.precision
+            )
+        out = cu @ cv.T - du @ dv.T
+        return DenseTile(out, c.precision)
     if both_dense:
         dense_update = a.to_dense64() @ b.to_dense64().T
         try:

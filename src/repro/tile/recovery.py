@@ -148,6 +148,7 @@ def factor_with_recovery(
     policy: RecoveryPolicy,
     max_rank: int | None = None,
     fp16_accumulate_fp32: bool = True,
+    factor_fn: "Callable[..., tuple[TileMatrix, CholeskyStats]] | None" = None,
 ) -> tuple[TileMatrix, CholeskyStats, "object", RecoveryReport]:
     """Factor with escalating numerical recovery.
 
@@ -158,22 +159,33 @@ def factor_with_recovery(
     It is called once per attempt — the factorization is destructive
     and tiles store rounded data, so nothing can be reused.
 
+    ``factor_fn(matrix, tile_tol=...)`` overrides how each attempt is
+    factored (e.g. the threaded DAG executor); it must return
+    ``(factor, stats)`` and raise
+    :class:`~repro.exceptions.NotPositiveDefiniteError` on breakdown.
+    The default is the sequential :func:`~repro.tile.cholesky.tile_cholesky`.
+
     Returns ``(factor, stats, assembly_report, recovery_report)`` of the
     first attempt that completes; raises
     :class:`~repro.exceptions.RecoveryExhaustedError` when the ladder
     runs dry.
     """
+    if factor_fn is None:
+
+        def factor_fn(matrix: TileMatrix, *, tile_tol: float):
+            return tile_cholesky(
+                matrix,
+                tile_tol=tile_tol,
+                max_rank=max_rank,
+                fp16_accumulate_fp32=fp16_accumulate_fp32,
+            )
+
     report = RecoveryReport()
     overrides: dict = {}
     matrix, build_report = rebuild(**overrides)
     scale = _diag_scale(matrix)
     try:
-        factor, stats = tile_cholesky(
-            matrix,
-            tile_tol=build_report.tile_tol,
-            max_rank=max_rank,
-            fp16_accumulate_fp32=fp16_accumulate_fp32,
-        )
+        factor, stats = factor_fn(matrix, tile_tol=build_report.tile_tol)
         return factor, stats, build_report, report
     except NotPositiveDefiniteError as exc:
         failure = exc
@@ -215,12 +227,7 @@ def factor_with_recovery(
         matrix, build_report = rebuild(**overrides)
         report.attempts += 1
         try:
-            factor, stats = tile_cholesky(
-                matrix,
-                tile_tol=build_report.tile_tol,
-                max_rank=max_rank,
-                fp16_accumulate_fp32=fp16_accumulate_fp32,
-            )
+            factor, stats = factor_fn(matrix, tile_tol=build_report.tile_tol)
         except NotPositiveDefiniteError as exc:
             failure = exc
             report.actions.append(

@@ -1,0 +1,292 @@
+"""MLE hot-path engine: geometry cache, warm hints, parallel execution.
+
+Covers the equivalence contracts of the evaluation engine:
+
+* ``from_geometry`` reproduces direct kernel evaluation per kernel
+  (bit-identical except the anisotropic Matérn, whose quadratic form
+  rounds differently; that one matches to ``allclose``);
+* geometry caching is invisible to results across an optimizer trace,
+  and stale reuse is structurally impossible (content-hashed keys,
+  explicit-geometry validation);
+* parallel factorization matches sequential per variant (bit-identical
+  for dense FP64, value-identical for the mixed-precision variants);
+* ``fast_lr`` matches the default low-rank arithmetic to rounding;
+* replicated likelihoods route through the recovery ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvaluationEngine,
+    fit_mle,
+    loglikelihood,
+    loglikelihood_replicated,
+)
+from repro.core.variants import get_variant
+from repro.exceptions import ConfigurationError
+from repro.kernels import (
+    AnisotropicMaternKernel,
+    BivariateMaternKernel,
+    ExponentialKernel,
+    GaussianKernel,
+    GneitingMaternKernel,
+    MaternKernel,
+    NuggetKernel,
+    stack_bivariate,
+)
+from repro.ordering import order_points
+from repro.tile import (
+    GeometryCache,
+    build_planned_covariance,
+    build_tile_geometry,
+)
+
+N = 240
+TILE = 40
+
+
+def _locations(n=N, d=2, seed=99):
+    gen = np.random.default_rng(seed)
+    x = gen.uniform(size=(n, d))
+    return x[order_points(x[:, :2], "morton")]
+
+
+def _observations(kernel, theta, x, seed=7):
+    sigma = kernel.covariance_matrix(theta, x, nugget=1e-8)
+    gen = np.random.default_rng(seed)
+    return np.linalg.cholesky(sigma) @ gen.standard_normal(len(x))
+
+
+@pytest.fixture(scope="module")
+def xz():
+    kern = MaternKernel()
+    theta = np.array([1.0, 0.1, 0.5])
+    x = _locations()
+    z = _observations(kern, theta, x)
+    return kern, theta, x, z
+
+
+# ----------------------------------------------------------------------
+# from_geometry equivalence per kernel
+# ----------------------------------------------------------------------
+
+def _kernel_cases():
+    x2 = _locations(60, 2)
+    x3 = _locations(60, 3)  # last column doubles as time
+    xb = stack_bivariate(_locations(30, 2))
+    return [
+        ("matern", MaternKernel(), None, x2, True),
+        ("exponential", ExponentialKernel(), None, x2, True),
+        ("gaussian", GaussianKernel(), None, x2, True),
+        ("gneiting", GneitingMaternKernel(), None, x3, True),
+        ("anisotropic", AnisotropicMaternKernel(), None, x2, False),
+        ("bivariate", BivariateMaternKernel(), None, xb, True),
+        ("nugget", NuggetKernel(MaternKernel()), None, x2, True),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,kernel,theta,x,exact",
+    _kernel_cases(),
+    ids=[c[0] for c in _kernel_cases()],
+)
+def test_from_geometry_matches_direct(name, kernel, theta, x, exact):
+    theta = kernel.default_theta() if theta is None else theta
+    half = len(x) // 2
+    xa, xb = x[:half], x[half:]
+    # Same-set (diagonal tile) form.
+    same = kernel(theta, xa)
+    via_same = kernel.from_geometry(theta, kernel.prepare_geometry(xa))
+    # Cross-set (off-diagonal tile) form.
+    cross = kernel(theta, xa, xb)
+    via_cross = kernel.from_geometry(theta, kernel.prepare_geometry(xa, xb))
+    if exact:
+        np.testing.assert_array_equal(via_same, same)
+        np.testing.assert_array_equal(via_cross, cross)
+    else:
+        np.testing.assert_allclose(via_same, same, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(via_cross, cross, rtol=1e-12, atol=1e-14)
+
+
+def test_cached_assembly_bit_identical(xz):
+    kern, theta, x, _ = xz
+    cache = GeometryCache()
+    direct, _ = build_planned_covariance(kern, theta, x, TILE, nugget=1e-8)
+    cached, _ = build_planned_covariance(
+        kern, theta, x, TILE, nugget=1e-8, cache=cache
+    )
+    assert cache.misses == 1
+    for key, tile in direct.items():
+        np.testing.assert_array_equal(
+            cached.get(*key).to_dense64(), tile.to_dense64()
+        )
+    # Second build hits.
+    build_planned_covariance(kern, theta, x, TILE, nugget=1e-8, cache=cache)
+    assert cache.hits == 1
+
+
+# ----------------------------------------------------------------------
+# Cache correctness: invariance along a fit, impossible staleness
+# ----------------------------------------------------------------------
+
+def test_fit_trace_invariant_under_cache(xz):
+    kern, theta, x, z = xz
+    kwargs = dict(
+        tile_size=TILE, variant="mp-dense-tlr", nugget=1e-8,
+        theta0=theta, max_nfev=5, max_iter=5,
+    )
+    off = fit_mle(kern, x, z, cache=False, **kwargs)
+    on = fit_mle(kern, x, z, cache=True, **kwargs)
+    assert off.nfev == on.nfev
+    assert off.loglik == on.loglik
+    np.testing.assert_array_equal(off.theta, on.theta)
+    np.testing.assert_array_equal(off.history, on.history)
+
+
+def test_engine_reuses_geometry_and_warms_hints(xz):
+    kern, theta, x, z = xz
+    eng = EvaluationEngine(
+        kern, x, z, tile_size=TILE, variant="mp-dense-tlr", nugget=1e-8
+    )
+    first = eng.evaluate(theta)
+    second = eng.evaluate(theta * 1.01)
+    stats = eng.stats()
+    assert stats.evaluations == 2
+    assert stats.geometry_misses == 1
+    assert stats.geometry_hits == 1
+    assert stats.warm_tiles == len(first.report.ranks)
+    assert np.isfinite(second.value)
+
+
+def test_changed_locations_never_reuse_geometry(xz):
+    kern, theta, x, z = xz
+    cache = GeometryCache()
+    loglikelihood(
+        kern, theta, x, z, tile_size=TILE, nugget=1e-8, cache=cache
+    )
+    assert (cache.hits, cache.misses) == (0, 1)
+    # Perturbing one coordinate changes the content hash: miss, not hit.
+    x2 = x.copy()
+    x2[3, 0] += 1e-9
+    loglikelihood(
+        kern, theta, x2, z, tile_size=TILE, nugget=1e-8, cache=cache
+    )
+    assert (cache.hits, cache.misses) == (0, 2)
+
+
+def test_explicit_stale_geometry_rejected(xz):
+    kern, theta, x, z = xz
+    geom = build_tile_geometry(kern, x, TILE)
+    x2 = x.copy()
+    x2[0, 1] += 1e-9
+    with pytest.raises(ConfigurationError):
+        build_planned_covariance(kern, theta, x2, TILE, geometry=geom)
+    with pytest.raises(ConfigurationError):
+        # Wrong tile size is caught too.
+        build_planned_covariance(kern, theta, x, TILE + 1, geometry=geom)
+
+
+# ----------------------------------------------------------------------
+# Parallel equivalence
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_dense_fp64_bit_identical(xz, workers):
+    kern, theta, x, z = xz
+    seq = loglikelihood(kern, theta, x, z, tile_size=TILE, nugget=1e-8)
+    par = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, nugget=1e-8, workers=workers
+    )
+    assert par.value == seq.value
+    assert par.logdet == seq.logdet
+    for key, tile in seq.factor.items():
+        np.testing.assert_array_equal(
+            par.factor.get(*key).to_dense64(), tile.to_dense64()
+        )
+
+
+@pytest.mark.parametrize("variant", ["mp-dense", "mp-dense-tlr"])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_variants_value_identical(xz, variant, workers):
+    kern, theta, x, z = xz
+    seq = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, variant=variant, nugget=1e-8
+    )
+    par = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, variant=variant, nugget=1e-8,
+        workers=workers,
+    )
+    assert par.value == seq.value
+    # Same representation decisions tile by tile.
+    for key, tile in seq.factor.items():
+        assert par.factor.get(*key).is_low_rank == tile.is_low_rank
+
+
+def test_workers_threads_through_variant_config(xz):
+    kern, theta, x, z = xz
+    cfg = get_variant("mp-dense-tlr")
+    from dataclasses import replace
+
+    par_cfg = replace(cfg, name="mp-dense-tlr-w2", workers=2)
+    seq = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, variant=cfg, nugget=1e-8
+    )
+    par = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, variant=par_cfg, nugget=1e-8
+    )
+    assert par.value == seq.value
+
+
+# ----------------------------------------------------------------------
+# fast_lr and recovery routing
+# ----------------------------------------------------------------------
+
+def test_fast_lr_matches_default_to_rounding(xz):
+    kern, theta, x, z = xz
+    base = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, variant="mp-dense-tlr",
+        nugget=1e-8,
+    )
+    fast = loglikelihood(
+        kern, theta, x, z, tile_size=TILE, variant="mp-dense-tlr",
+        nugget=1e-8, fast_lr=True,
+    )
+    np.testing.assert_allclose(fast.value, base.value, rtol=1e-6)
+    np.testing.assert_allclose(fast.logdet, base.logdet, rtol=1e-6)
+
+
+def test_replicated_routes_through_recovery(xz):
+    kern, theta, x, _ = xz
+    gen = np.random.default_rng(11)
+    reps = gen.standard_normal((3, len(x)))
+    # The recovery variant must produce values, not raise, and agree
+    # with the plain variant when no rescue is needed.
+    plain = loglikelihood_replicated(
+        kern, theta, x, reps, tile_size=TILE,
+        variant="mp-dense-tlr", nugget=1e-8,
+    )
+    recovered = loglikelihood_replicated(
+        kern, theta, x, reps, tile_size=TILE,
+        variant="mp-dense-tlr-recover", nugget=1e-8,
+    )
+    assert recovered.shape == (3,)
+    np.testing.assert_allclose(recovered, plain, rtol=1e-8)
+
+
+def test_replicated_recovery_rescues_indefinite():
+    # A near-singular covariance (duplicated locations, no nugget) that
+    # breaks the aggressive variant must be rescued by the ladder.
+    kern = MaternKernel()
+    theta = np.array([1.0, 0.8, 2.5])
+    gen = np.random.default_rng(5)
+    x = gen.uniform(size=(96, 2))
+    x = x[order_points(x, "morton")]
+    reps = gen.standard_normal((2, len(x)))
+    values = loglikelihood_replicated(
+        kern, theta, x, reps, tile_size=24,
+        variant="mp-dense-tlr-recover",
+    )
+    assert np.all(np.isfinite(values))
