@@ -1,0 +1,155 @@
+"""Prediction serving throughput: cold per-call path vs warm engine.
+
+Times repeated kriging prediction (the PR-4 acceptance experiment) in
+two configurations on the same factored training covariance:
+
+* ``baseline`` — the seed path: every call re-solves the Eq.-4
+  weights with one-shot triangular sweeps (re-casting every tile) and
+  re-evaluates the train/test cross covariance;
+* ``engine``   — a warm :class:`~repro.core.serving.PredictionEngine`:
+  weights solved once, tiles cast once, cross values served from the
+  byte-bounded LRU.
+
+Writes the machine-readable
+``benchmarks/out/BENCH_predict_throughput.json``.  ``BENCH_PREDICT_N``
+scales the training set (default 1800, tile 60 — the paper-style
+single-node problem); the committed artifact records the full-size
+run, CI's perf-smoke job replays a small one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import PredictionEngine
+from repro.data import sample_gaussian_field
+from repro.kernels import ExponentialKernel
+from repro.core.likelihood import loglikelihood
+from repro.core.variants import get_variant
+from repro.ordering import order_points
+from repro.tile.solve import backward_solve, forward_solve
+
+N = int(os.environ.get("BENCH_PREDICT_N", "1800"))
+TILE = 60 if N >= 900 else 40
+M_TEST = 400
+REPEATS = 5
+BATCH = 200
+THETA = np.array([1.0, 0.1])
+VARIANTS = ("mp-dense-tlr", "dense-fp64")
+
+
+def _dataset():
+    gen = np.random.default_rng(0)
+    x = gen.uniform(size=(N + M_TEST, 2))
+    x_train = x[:N][order_points(x[:N], "morton")]
+    x_test = x[N:]
+    kern = ExponentialKernel()
+    z = sample_gaussian_field(kern, THETA, x_train, seed=5)
+    return kern, x_train, z, x_test
+
+
+def _baseline_predict(kern, x_train, z, x_test, factor, *, uncertainty):
+    """The seed per-call path: weight re-solve + fresh cross values
+    per call, one-shot (transient-solver) triangular sweeps."""
+    weights = backward_solve(factor, forward_solve(factor, z))
+    marginal = kern.variance(THETA)
+    means, variances = [], []
+    for start in range(0, len(x_test), BATCH):
+        xb = x_test[start:start + BATCH]
+        cross = kern(THETA, x_train, xb)
+        means.append(cross.T @ weights)
+        if uncertainty:
+            half = forward_solve(factor, cross)
+            v = marginal - np.einsum("ij,ij->j", half, half)
+            variances.append(np.where(v < 0.0, 0.0, v))
+    mean = np.concatenate(means)
+    return mean, (np.concatenate(variances) if uncertainty else None)
+
+
+def _throughput(fn, repeats=REPEATS):
+    """Predictions per second over ``repeats`` identical calls."""
+    fn()  # warm-up outside the timed region (JIT-free, but page-in)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    dt = time.perf_counter() - t0
+    return repeats * M_TEST / dt, dt
+
+
+def test_predict_throughput(artifact_dir, benchmark):
+    kern, x_train, z, x_test = _dataset()
+    record = {
+        "experiment": "predict_throughput",
+        "n_train": N,
+        "m_test": M_TEST,
+        "tile_size": TILE,
+        "batch": BATCH,
+        "repeats": REPEATS,
+        "kernel": "exponential",
+        "variants": {},
+    }
+    engines = {}
+    for variant in VARIANTS:
+        cfg = get_variant(variant)
+        factor = loglikelihood(
+            kern, THETA, x_train, z, tile_size=TILE, variant=cfg
+        ).factor
+        engine = PredictionEngine(kern, THETA, x_train, z, factor, batch=BATCH)
+        engines[variant] = engine
+
+        base_mean, _ = _baseline_predict(
+            kern, x_train, z, x_test, factor, uncertainty=False)
+        eng_mean = engine.predict(x_test).mean
+        tp_base, t_base = _throughput(lambda: _baseline_predict(
+            kern, x_train, z, x_test, factor, uncertainty=False))
+        tp_eng, t_eng = _throughput(lambda: engine.predict(x_test))
+        tp_base_u, t_base_u = _throughput(lambda: _baseline_predict(
+            kern, x_train, z, x_test, factor, uncertainty=True))
+        tp_eng_u, t_eng_u = _throughput(
+            lambda: engine.predict(x_test, return_uncertainty=True))
+        stats = engine.stats()
+        record["variants"][variant] = {
+            "mean_only": {
+                "baseline_pred_per_s": round(tp_base, 1),
+                "engine_pred_per_s": round(tp_eng, 1),
+                "speedup": round(tp_eng / tp_base, 2),
+            },
+            "mean_and_variance": {
+                "baseline_pred_per_s": round(tp_base_u, 1),
+                "engine_pred_per_s": round(tp_eng_u, 1),
+                "speedup": round(tp_eng_u / tp_base_u, 2),
+            },
+            "mean_bit_identical_to_baseline": bool(
+                np.array_equal(base_mean, eng_mean)),
+            "engine": {
+                "weight_solves": stats.weight_solves,
+                "tile_casts": stats.tile_casts,
+                "cross_hits": stats.cross_hits,
+                "cross_cache_bytes": stats.cross_cache_bytes,
+            },
+        }
+
+    path = artifact_dir / "BENCH_predict_throughput.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n[artifact] {path}\n{json.dumps(record, indent=2)}")
+
+    for variant, row in record["variants"].items():
+        # The engine serves the same numbers the seed path produced:
+        # same factor, same arithmetic, cached operands.
+        assert row["mean_bit_identical_to_baseline"], variant
+        # One weight solve and one cast per stored tile, ever.
+        assert row["engine"]["weight_solves"] == 1
+        # Acceptance: >= 3x repeated-prediction throughput at the full
+        # benchmark size (small CI replays only assert no regression).
+        if N >= 1800:
+            assert row["mean_only"]["speedup"] >= 3.0, (variant, row)
+        else:
+            assert row["mean_only"]["speedup"] > 0.7, (variant, row)
+
+    # Steady-state timing of the warm mp-dense-tlr engine.
+    engine = engines["mp-dense-tlr"]
+    benchmark(lambda: engine.predict(x_test).mean.sum())

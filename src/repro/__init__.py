@@ -37,6 +37,7 @@ from .core import (
     MP_DENSE_TLR,
     ExaGeoStatModel,
     MLEResult,
+    PredictionEngine,
     PredictionResult,
     VariantConfig,
     fit_mle,
@@ -73,6 +74,7 @@ __all__ = [
     "MLEResult",
     "kriging_predict",
     "PredictionResult",
+    "PredictionEngine",
     "ReproError",
     "ParameterError",
     "ShapeError",

@@ -12,11 +12,13 @@ Commands
     Print the Fig. 5 dense/TLR crossover analysis for a tile size.
 ``scaling [--nodes N] [--matrix M]``
     Fig. 10-style projection for a weak-correlation problem.
-``analyze [--lint PATH ...] [--golden-plans] [--json] [--rules]``
+``analyze [--lint PATH ...] [--golden-plans] [--serving] [--json] [--rules]``
     Static verification layer: run the numerical-hygiene linter over
-    source paths and/or the golden-plan suite (every shipped variant at
-    nt in {4, 8} through the plan + DAG verifiers).  Exit code 0 iff no
-    error-severity finding is reported; warnings do not fail the run.
+    source paths, the golden-plan suite (every shipped variant at nt in
+    {4, 8} through the plan + DAG verifiers), and/or the serving
+    amortization check (one engine build, one Eq.-4 weight solve, no
+    per-batch tile re-casts).  Exit code 0 iff no error-severity
+    finding is reported; warnings do not fail the run.
 """
 
 from __future__ import annotations
@@ -122,26 +124,30 @@ def _cmd_analyze(args) -> int:
         DAG_RULES,
         LINT_RULES,
         PLAN_RULES,
+        SERVE_RULES,
         AnalysisReport,
         Severity,
         check_golden_plans,
+        check_golden_serving,
         lint_paths,
     )
 
     if args.rules:
-        for catalog in (PLAN_RULES, DAG_RULES, LINT_RULES):
+        for catalog in (PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES):
             for rule, text in catalog.items():
                 print(f"  {rule}  {text}")
         return 0
-    if not args.lint and not args.golden_plans:
-        print("nothing to analyze: pass --lint PATH ... and/or "
-              "--golden-plans", file=sys.stderr)
+    if not args.lint and not args.golden_plans and not args.serving:
+        print("nothing to analyze: pass --lint PATH ..., "
+              "--golden-plans, and/or --serving", file=sys.stderr)
         return 2
     report = AnalysisReport()
     if args.lint:
         report.extend(lint_paths(args.lint))
     if args.golden_plans:
         report.extend(check_golden_plans())
+    if args.serving:
+        report.extend(check_golden_serving())
     if args.json:
         print(report.to_json(indent=2))
     else:
@@ -169,6 +175,10 @@ def main(argv: list[str] | None = None) -> int:
     p_a.add_argument("--golden-plans", action="store_true",
                      help="verify every shipped variant's plan + DAG "
                           "at nt in {4, 8}")
+    p_a.add_argument("--serving", action="store_true",
+                     help="verify the prediction serving path amortizes "
+                          "(one engine build, one weight solve, no "
+                          "per-batch tile re-casts)")
     p_a.add_argument("--json", action="store_true",
                      help="machine-readable JSON output")
     p_a.add_argument("--rules", action="store_true",

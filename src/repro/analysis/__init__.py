@@ -22,7 +22,14 @@ findings; ``python -m repro analyze`` exposes everything on the CLI.
 
 from .dagcheck import DAG_RULES, check_dag, check_task_stream, check_taskgraph
 from .diagnostics import AnalysisReport, Diagnostic, Severity
-from .golden import GOLDEN_NTS, GOLDEN_VARIANTS, check_golden_plan, check_golden_plans
+from .golden import (
+    GOLDEN_NTS,
+    GOLDEN_VARIANTS,
+    SERVE_RULES,
+    check_golden_plan,
+    check_golden_plans,
+    check_golden_serving,
+)
 from .lint import LINT_RULES, lint_file, lint_paths, lint_source
 from .plancheck import PLAN_RULES, check_plan, plan_from_matrix
 
@@ -40,9 +47,11 @@ __all__ = [
     "lint_paths",
     "check_golden_plan",
     "check_golden_plans",
+    "check_golden_serving",
     "GOLDEN_VARIANTS",
     "GOLDEN_NTS",
     "PLAN_RULES",
     "DAG_RULES",
     "LINT_RULES",
+    "SERVE_RULES",
 ]

@@ -23,7 +23,27 @@ from .dagcheck import check_taskgraph
 from .diagnostics import AnalysisReport, Diagnostic, Severity
 from .plancheck import check_plan
 
-__all__ = ["GOLDEN_VARIANTS", "GOLDEN_NTS", "check_golden_plan", "check_golden_plans"]
+__all__ = [
+    "GOLDEN_VARIANTS",
+    "GOLDEN_NTS",
+    "SERVE_RULES",
+    "check_golden_plan",
+    "check_golden_plans",
+    "check_golden_serving",
+]
+
+#: Serving-amortization rules enforced by :func:`check_golden_serving`.
+SERVE_RULES: dict[str, str] = {
+    "SERVE001": "serving engine was rebuilt during steady-state predicts "
+                "(stale-state invalidation fired without a state change)",
+    "SERVE002": "Eq.-4 weights were re-solved after engine construction "
+                "(the weight solve must amortize to exactly one)",
+    "SERVE003": "per-tile factor casts grew after warm-up (the serving "
+                "path re-materialized tiles / revalidated the plan per "
+                "batch)",
+    "SERVE004": "repeated identical test batch missed the "
+                "cross-covariance cache",
+}
 
 #: The shipped pipeline variants the golden suite covers.
 GOLDEN_VARIANTS: tuple[str, ...] = (
@@ -66,6 +86,81 @@ def check_golden_plan(variant: str, nt: int) -> AnalysisReport:
     report.extend(check_taskgraph(tasks, layout=layout))
     solve = list(forward_solve_tasks(nt, base_uid=len(tasks)))
     report.extend(check_taskgraph(solve, layout=layout))
+    return report
+
+
+def check_golden_serving(
+    variant: str = "mp-dense-tlr", nt: int = 4, *, rounds: int = 3
+) -> AnalysisReport:
+    """Verify the prediction serving path amortizes as designed.
+
+    Builds a small fitted model (``set_params``, no MLE) on ``variant``,
+    serves the same test batch ``rounds`` times plus one streamed pass,
+    and checks the engine's counters: the engine is built once, the
+    Eq.-4 weight solve happens once, no tile is re-cast after warm-up
+    (i.e. the serving path never triggers plan revalidation or
+    re-factorization per batch), and repeated identical batches hit the
+    cross-covariance cache.  Rules are catalogued in
+    :data:`SERVE_RULES`.
+    """
+    from ..core.model import ExaGeoStatModel
+
+    report = AnalysisReport()
+    gen = np.random.default_rng(DEFAULT_SEED)
+    n = nt * _GOLDEN_TILE
+    x = gen.uniform(size=(n, 2))
+    z = gen.standard_normal(n)
+    x_test = gen.uniform(size=(40, 2))
+
+    model = ExaGeoStatModel(
+        kernel="matern", variant=variant,
+        tile_size=_GOLDEN_TILE, nugget=_GOLDEN_NUGGET,
+    )
+    model.set_params(np.asarray(_GOLDEN_THETA), x, z)
+    model.predict(x_test, return_uncertainty=True)  # warm-up
+    engine = model.serving_engine()
+    warm_casts = engine.stats().tile_casts
+
+    for _ in range(max(1, rounds)):
+        model.predict(x_test, return_uncertainty=True)
+    for _ in engine.predict_iter(x_test, batch=16, return_uncertainty=True):
+        pass
+    model.simulate(x_test, size=2, seed=DEFAULT_SEED)
+    stats = engine.stats()
+
+    if model._engine_builds != 1:
+        report.add(Diagnostic(
+            "SERVE001", Severity.ERROR,
+            f"engine built {model._engine_builds}x across "
+            f"{stats.predict_calls} predict call(s) on unchanged state",
+        ))
+    if stats.weight_solves != 1:
+        report.add(Diagnostic(
+            "SERVE002", Severity.ERROR,
+            f"weights solved {stats.weight_solves}x (expected exactly 1)",
+        ))
+    stored = len(engine.factor.keys())
+    if stats.tile_casts > warm_casts or stats.tile_casts > stored:
+        report.add(Diagnostic(
+            "SERVE003", Severity.ERROR,
+            f"tile casts grew {warm_casts} -> {stats.tile_casts} over "
+            f"{stats.batches} batch(es) ({stored} stored tile(s)) — "
+            "serving is re-materializing the factor per batch",
+        ))
+    if stats.cross_hits < max(1, rounds):
+        report.add(Diagnostic(
+            "SERVE004", Severity.ERROR,
+            f"only {stats.cross_hits} cross-cache hit(s) across "
+            f"{max(1, rounds)} repeated round(s)",
+        ))
+    status = "clean" if report.ok else f"{len(report.errors)} error(s)"
+    report.add(Diagnostic(
+        "GOLDEN", Severity.INFO,
+        f"serving on {variant} at nt={nt}: {status} "
+        f"({stats.predictions} predictions, {stats.tile_casts} casts, "
+        f"{stats.weight_solves} weight solve(s), "
+        f"{stats.cross_hits} cache hit(s))",
+    ))
     return report
 
 

@@ -19,8 +19,9 @@ LINT005   warning   raw ``.astype(float16/float32)`` narrowing cast —
                     storage conversion should route through
                     ``repro.tile.precision.cast_storage``
 LINT006   warning   SciPy linalg call (``cholesky``, ``solve_triangular``,
-                    ``cho_factor``, ``cho_solve``, ``solve``) without an
-                    explicit ``check_finite=`` guard
+                    ``cho_factor``, ``cho_solve``; plain ``solve`` only on
+                    a scipy.linalg-like module) without an explicit
+                    ``check_finite=`` guard
 LINT007   error     ``eval`` / ``exec``
 LINT008   error     ``is`` / ``is not`` against a literal (identity of
                     ints/strs is an implementation detail)
@@ -63,6 +64,10 @@ _RNG_CONSTRUCTORS = {"default_rng", "RandomState"}
 _LINALG_GUARDED = {
     "cholesky", "solve_triangular", "cho_factor", "cho_solve", "solve",
 }
+# The generic name ``solve`` is only a SciPy call when the receiver is
+# a scipy.linalg-looking module; solver *objects* (e.g. PanelSolver)
+# expose .solve() without a check_finite parameter.
+_GENERIC_SOLVE_BASES = {"scipy", "linalg", "sla", "la"}
 _NARROW_DTYPES = {"float16", "float32", "half", "single"}
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
 
@@ -161,6 +166,7 @@ class _LintVisitor(ast.NodeVisitor):
             name in _LINALG_GUARDED
             and chain[:1] not in (["np"], ["numpy"])
             and isinstance(node.func, ast.Attribute)
+            and (name != "solve" or (chain and chain[0] in _GENERIC_SOLVE_BASES))
             and not any(k.arg == "check_finite" for k in node.keywords)
         ):
             self._report(

@@ -38,6 +38,12 @@ DEFAULT_SEED: int = 20220101
 #: path (keeps peak memory bounded for large test sets).
 PREDICT_BATCH: int = 4096
 
+#: Byte budget of the serving engine's cross-covariance LRU — repeated
+#: predictions at previously seen test batches skip the kernel
+#: evaluation (and, for variances, the half-solve) entirely.  0
+#: disables value caching; geometry caching is governed separately.
+SERVING_CROSS_CACHE_BYTES: int = 128 * 2**20
+
 # ----------------------------------------------------------------------
 # Resilience defaults (runtime fault model + numerical recovery ladder)
 # ----------------------------------------------------------------------

@@ -10,7 +10,8 @@ from .likelihood import (
 )
 from .mle import MLEResult, fit_mle
 from .model import ExaGeoStatModel
-from .prediction import PredictionResult, kriging_predict
+from .prediction import PredictionResult, clamp_variance, kriging_predict
+from .serving import PredictionEngine, ServingStats
 from .simulation import conditional_simulation
 from .uq import (
     MLEUncertainty,
@@ -44,6 +45,9 @@ __all__ = [
     "fit_mle",
     "MLEResult",
     "kriging_predict",
+    "clamp_variance",
+    "PredictionEngine",
+    "ServingStats",
     "conditional_simulation",
     "MLEUncertainty",
     "mle_uncertainty",

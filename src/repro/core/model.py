@@ -15,6 +15,8 @@ The model handles the locality-preserving reordering internally
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..exceptions import ReproError, ShapeError
@@ -27,11 +29,12 @@ from ..kernels import (
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
 from ..ordering import order_points
-from ..tile.geometry import GeometryCache
+from ..tile.geometry import GeometryCache, locations_fingerprint
 from ..tile.matrix import TileMatrix
 from .likelihood import LikelihoodResult, loglikelihood
 from .mle import MLEResult, fit_mle
-from .prediction import PredictionResult, kriging_predict
+from .prediction import PredictionResult
+from .serving import PredictionEngine
 from .variants import VariantConfig, get_variant
 
 __all__ = ["ExaGeoStatModel"]
@@ -98,7 +101,13 @@ class ExaGeoStatModel:
         self.result_: MLEResult | None = None
         self._x: np.ndarray | None = None
         self._z: np.ndarray | None = None
-        self._factor: TileMatrix | None = None
+        # The serving engine bundles the amortizable prediction state —
+        # factor, solved Eq.-4 weights, cross caches — and is keyed on
+        # a content hash of the fitted state so a stale factor or
+        # weight vector can never be reused (mirrors GeometryCache).
+        self._engine: PredictionEngine | None = None
+        self._engine_key: str | None = None
+        self._engine_builds = 0
         # Shared across fit / refit / predict: geometry depends only on
         # the locations, which the model pins at fit time.
         self._cache = GeometryCache()
@@ -149,7 +158,7 @@ class ExaGeoStatModel:
         self.theta_ = result.theta
         self.loglik_ = result.loglik
         self._x, self._z = xo, zo
-        self._factor = None  # recomputed lazily at the fitted theta
+        self._invalidate_serving()  # rebuilt lazily at the fitted theta
         return self
 
     def set_params(self, theta: np.ndarray, x: np.ndarray, z: np.ndarray) -> "ExaGeoStatModel":
@@ -159,7 +168,7 @@ class ExaGeoStatModel:
         self._x, self._z = self._ordered(x, z)
         self.result_ = None
         self.loglik_ = None
-        self._factor = None
+        self._invalidate_serving()
         return self
 
     def _likelihood_at_fit(self) -> LikelihoodResult:
@@ -172,25 +181,65 @@ class ExaGeoStatModel:
         self.loglik_ = result.value
         return result
 
+    def _invalidate_serving(self) -> None:
+        """Drop the serving engine — factor and solved weights go
+        together, so neither can outlive a parameter/data change."""
+        self._engine = None
+        self._engine_key = None
+
+    def _state_key(self) -> str:
+        """Content hash of everything the serving state depends on."""
+        digest = hashlib.sha1(self.kernel.geometry_key().encode())
+        digest.update(self.variant.name.encode())
+        digest.update(str(self.tile_size).encode())
+        digest.update(np.float64(self.nugget).tobytes())
+        digest.update(np.ascontiguousarray(
+            self.theta_, dtype=np.float64).tobytes())
+        digest.update(locations_fingerprint(self._x).encode())
+        digest.update(np.ascontiguousarray(
+            self._z, dtype=np.float64).tobytes())
+        return digest.hexdigest()
+
+    def _ensure_engine(self) -> PredictionEngine:
+        self._require_fit()
+        key = self._state_key()
+        if self._engine is None or self._engine_key != key:
+            factor = self._likelihood_at_fit().factor
+            self._engine = PredictionEngine(
+                self.kernel, self.theta_, self._x, self._z, factor,
+                cache=self._cache,
+            )
+            self._engine_key = key
+            self._engine_builds += 1
+        return self._engine
+
     def _ensure_factor(self) -> TileMatrix:
-        if self._factor is None:
-            self._factor = self._likelihood_at_fit().factor
-        return self._factor
+        return self._ensure_engine().factor
+
+    def serving_engine(self) -> PredictionEngine:
+        """The batched prediction serving engine bound to the fitted
+        state (built lazily; invalidated whenever ``fit`` /
+        ``set_params`` change what is served)."""
+        return self._ensure_engine()
 
     # ------------------------------------------------------------------
     def predict(
-        self, x_new: np.ndarray, *, return_uncertainty: bool = False
+        self,
+        x_new: np.ndarray,
+        *,
+        return_uncertainty: bool = False,
+        batch: int | None = None,
+        workers: int | None = None,
     ) -> PredictionResult:
         """Kriging prediction (Eq. 4) and uncertainty (Eq. 5) at new
-        locations, using the fitted parameters."""
-        self._require_fit()
-        factor = self._ensure_factor()
-        return kriging_predict(
-            self.kernel, self.theta_, self._x, self._z,
+        locations, using the fitted parameters.  Served by the model's
+        :meth:`serving_engine`, so the factor, the Eq.-4 weights, and
+        the cross geometry amortize across repeated calls; ``workers``
+        spreads test batches over a thread pool."""
+        return self._ensure_engine().predict(
             as_locations(x_new, dim=self.kernel.ndim_locations),
-            factor,
             return_uncertainty=return_uncertainty,
-            cache=self._cache,
+            batch=batch, workers=workers,
         )
 
     def simulate(
@@ -198,14 +247,9 @@ class ExaGeoStatModel:
     ) -> np.ndarray:
         """Conditional simulation at new locations (Eq. 3): posterior
         field draws honoring both the data and the fitted covariance."""
-        from .simulation import conditional_simulation
-
-        self._require_fit()
-        factor = self._ensure_factor()
-        return conditional_simulation(
-            self.kernel, self.theta_, self._x, self._z,
+        return self._ensure_engine().simulate(
             as_locations(x_new, dim=self.kernel.ndim_locations),
-            factor, size=size, seed=seed,
+            size=size, seed=seed,
         )
 
     def uncertainty(self, *, level: float = 0.95, rel_step: float = 1e-3):
@@ -218,16 +262,15 @@ class ExaGeoStatModel:
             self.kernel, self.theta_, self._x, self._z,
             tile_size=self.tile_size, variant=self.variant,
             nugget=self.nugget, level=level, rel_step=rel_step,
+            cache=self._cache,
         )
 
     def score(self, x_test: np.ndarray, z_test: np.ndarray) -> float:
         """Mean squared prediction error on held-out data (the paper's
-        MSPE column)."""
-        pred = self.predict(x_test)
-        z_test = np.asarray(z_test, dtype=np.float64).ravel()
-        if z_test.shape != pred.mean.shape:
-            raise ShapeError("z_test length does not match x_test")
-        return float(np.mean((pred.mean - z_test) ** 2))
+        MSPE column), served by the prediction engine."""
+        return self._ensure_engine().score(
+            as_locations(x_test, dim=self.kernel.ndim_locations), z_test
+        )
 
     def summary(self) -> dict:
         """Fit summary in the layout of the paper's Tables I/II."""

@@ -6,13 +6,20 @@ Given the factor ``L`` of the training covariance ``Sigma_nn``:
 * uncertainty  ``U_m = diag(Sigma_mm - Sigma_mn Sigma_nn^{-1} Sigma_nm)``
                                                               (Eq. 5)
 
-Both reduce to triangular solves with the tiled factor.  Test locations
-are processed in batches so peak memory stays at
-``n_train x batch`` cross-covariance blocks.
+Both reduce to multi-RHS triangular solves with the tiled factor.
+:func:`kriging_predict` is the one-shot entry point; it routes through
+a transient :class:`~repro.core.serving.PredictionEngine`, so test
+locations are processed in batches (peak memory stays at
+``n_train x batch`` cross-covariance blocks) and every batch shares
+one weight solve and one per-tile precision cast.  For repeated
+predictions against the same fitted state, hold a
+:class:`~repro.core.serving.PredictionEngine` (or use
+:meth:`~repro.core.model.ExaGeoStatModel.serving_engine`) instead.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,12 +27,12 @@ import numpy as np
 from ..config import PREDICT_BATCH
 from ..exceptions import ShapeError
 from ..kernels.base import CovarianceKernel
-from ..kernels.distance import as_locations
 from ..tile.geometry import GeometryCache
 from ..tile.matrix import TileMatrix
-from ..tile.solve import backward_solve, forward_solve
 
-__all__ = ["PredictionResult", "kriging_predict"]
+__all__ = ["PredictionResult", "kriging_predict", "clamp_variance"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -38,7 +45,28 @@ class PredictionResult:
     def standard_error(self) -> np.ndarray:
         if self.variance is None:
             raise ShapeError("prediction was run without uncertainty")
+        # Variances are already clamped at the source (Eq. 5 rounding);
+        # the maximum here only guards results from older pickles.
         return np.sqrt(np.maximum(self.variance, 0.0))
+
+
+def clamp_variance(variance: np.ndarray, *, where: str = "kriging") -> tuple[np.ndarray, int]:
+    """Clamp small negative Eq.-5 variances (MP/TLR rounding) to 0.
+
+    Returns the clamped array and the number of entries clamped; emits
+    a debug-level diagnostic when any were, so serving logs can track
+    how hard the approximation is pushing against the PSD boundary.
+    """
+    negative = variance < 0.0
+    count = int(np.count_nonzero(negative))
+    if count:
+        logger.debug(
+            "%s: clamped %d negative predictive variance(s) to 0 "
+            "(min %.3e) — Eq. 5 under MP/TLR rounding",
+            where, count, float(variance.min()),
+        )
+        variance = np.where(negative, 0.0, variance)
+    return variance, count
 
 
 def kriging_predict(
@@ -52,6 +80,7 @@ def kriging_predict(
     return_uncertainty: bool = False,
     batch: int = PREDICT_BATCH,
     cache: GeometryCache | None = None,
+    workers: int = 1,
 ) -> PredictionResult:
     """Predict at ``x_test`` given a factored training covariance.
 
@@ -61,34 +90,14 @@ def kriging_predict(
 
     ``cache`` reuses the theta-independent cross geometry (train/test
     distances) across repeated predictions at the same locations —
-    e.g. re-predicting after a parameter update.
+    e.g. re-predicting after a parameter update.  ``workers`` spreads
+    independent test batches over a thread pool.
     """
-    x_train = as_locations(x_train)
-    x_test = as_locations(x_test)
-    if x_train.shape[1] != x_test.shape[1]:
-        raise ShapeError("train and test locations have different dimensions")
-    z = np.asarray(z_train, dtype=np.float64).ravel()
-    if z.shape[0] != len(x_train):
-        raise ShapeError("z_train length does not match x_train")
-    if factor.n != len(x_train):
-        raise ShapeError("factor dimension does not match x_train")
+    from .serving import PredictionEngine
 
-    # w = Sigma_nn^{-1} z via the two triangular solves.
-    weights = backward_solve(factor, forward_solve(factor, z))
-
-    m = len(x_test)
-    mean = np.empty(m, dtype=np.float64)
-    variance = np.empty(m, dtype=np.float64) if return_uncertainty else None
-    marginal = kernel.variance(theta)
-    for start in range(0, m, batch):
-        stop = min(start + batch, m)
-        if cache is not None:
-            geom = cache.pair_geometry(kernel, x_train, x_test[start:stop])
-            cross = kernel.from_geometry(theta, geom)  # (n, mb)
-        else:
-            cross = kernel(theta, x_train, x_test[start:stop])  # (n, mb)
-        mean[start:stop] = cross.T @ weights
-        if variance is not None:
-            half = forward_solve(factor, cross)  # L^{-1} Sigma_nm
-            variance[start:stop] = marginal - np.einsum("ij,ij->j", half, half)
-    return PredictionResult(mean=mean, variance=variance)
+    engine = PredictionEngine(
+        kernel, theta, x_train, z_train, factor,
+        cache=cache, batch=batch, workers=workers,
+        cross_cache_bytes=0,  # one-shot call: nothing to reuse
+    )
+    return engine.predict(x_test, return_uncertainty=return_uncertainty)

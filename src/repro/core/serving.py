@@ -1,0 +1,356 @@
+"""Batched prediction serving engine (paper Eqs. 4-5 as a hot path).
+
+The paper's end product is not the factorization but *prediction*:
+kriging means and variances served from the factored training
+covariance.  Every predict/score/simulate call against a fitted model
+shares three amortizable pieces:
+
+* the tile Cholesky factor, applied through one
+  :class:`~repro.tile.solve.PanelSolver` (one float64 cast per tile
+  for the engine's lifetime, BLAS-3 panel updates for every batch);
+* the solved weight vector ``w = Sigma_nn^{-1} z`` of Eq. 4 —
+  computed exactly once;
+* the train/test cross geometry, and optionally the cross-covariance
+  values themselves (theta is pinned, so a repeated test batch needs
+  no kernel evaluation at all).
+
+:class:`PredictionEngine` owns all three and exposes a batched,
+optionally thread-parallel :meth:`predict`, a bounded-memory streaming
+:meth:`predict_iter` for large grids, MSPE :meth:`score`, and
+conditional :meth:`simulate`.  ``ExaGeoStatModel`` builds one lazily
+(see :meth:`~repro.core.model.ExaGeoStatModel.serving_engine`) and
+invalidates it whenever the fitted state changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PREDICT_BATCH, SERVING_CROSS_CACHE_BYTES
+from ..exceptions import ShapeError
+from ..kernels.base import CovarianceKernel
+from ..kernels.distance import as_locations
+from ..tile.geometry import GeometryCache, locations_fingerprint
+from ..tile.matrix import TileMatrix
+from ..tile.solve import PanelSolver
+from .prediction import PredictionResult, clamp_variance
+
+__all__ = ["ServingStats", "PredictionEngine"]
+
+
+@dataclass
+class ServingStats:
+    """Amortization counters of one engine."""
+
+    predict_calls: int = 0
+    predictions: int = 0  # total predicted locations
+    batches: int = 0
+    weight_solves: int = 0  # must stay 1 for the engine's lifetime
+    tile_casts: int = 0  # PanelSolver materializations (once per tile)
+    solves: int = 0  # triangular sweeps served by the solver
+    cross_hits: int = 0
+    cross_misses: int = 0
+    cross_cache_bytes: int = 0
+    clamped_variances: int = 0
+
+
+class _CrossEntry:
+    """One cached test batch: cross covariance and lazy half-solve."""
+
+    __slots__ = ("cross", "half")
+
+    def __init__(self, cross: np.ndarray):
+        self.cross = cross
+        self.half: np.ndarray | None = None
+
+    @property
+    def nbytes(self) -> int:
+        return self.cross.nbytes + (0 if self.half is None else self.half.nbytes)
+
+
+class PredictionEngine:
+    """Throughput-oriented predictions against one fitted state.
+
+    Parameters
+    ----------
+    kernel, theta, x_train, z_train:
+        The fitted model state; ``theta`` is pinned for the engine's
+        lifetime (that is what makes weights and cross values
+        reusable).
+    factor:
+        Tile Cholesky factor of ``Sigma_nn(theta)`` over ``x_train``.
+    cache:
+        A :class:`~repro.tile.geometry.GeometryCache` for the
+        theta-independent train/test geometry, shared with the owning
+        model; ``None`` evaluates the kernel directly.
+    batch:
+        Default test-batch width (peak memory is ``n_train x batch``).
+    workers:
+        Default thread-pool width of :meth:`predict`; batches are
+        independent, so parallel results are bit-identical to
+        sequential ones.
+    cross_cache_bytes:
+        Byte budget of the cross-covariance value LRU (0 disables it).
+    """
+
+    def __init__(
+        self,
+        kernel: CovarianceKernel,
+        theta: np.ndarray,
+        x_train: np.ndarray,
+        z_train: np.ndarray,
+        factor: TileMatrix,
+        *,
+        cache: GeometryCache | None = None,
+        batch: int = PREDICT_BATCH,
+        workers: int = 1,
+        cross_cache_bytes: int = SERVING_CROSS_CACHE_BYTES,
+    ):
+        self.kernel = kernel
+        self.theta = kernel.validate_theta(theta)
+        self.x_train = as_locations(x_train, dim=kernel.ndim_locations)
+        self.z_train = np.asarray(z_train, dtype=np.float64).ravel()
+        if self.z_train.shape[0] != len(self.x_train):
+            raise ShapeError("z_train length does not match x_train")
+        if factor.n != len(self.x_train):
+            raise ShapeError("factor dimension does not match x_train")
+        if batch < 1:
+            raise ShapeError("batch must be >= 1")
+        self.cache = cache
+        self.batch = int(batch)
+        self.workers = max(1, int(workers))
+        self.cross_cache_bytes = max(0, int(cross_cache_bytes))
+
+        self.solver = PanelSolver(factor)
+        #: Eq. 4 weights ``Sigma_nn^{-1} z`` — solved once, reused by
+        #: every subsequent predict/score/simulate call.
+        self.weights = self.solver.solve(self.z_train)
+        self.marginal = kernel.variance(self.theta)
+
+        self._lock = threading.Lock()
+        self._cross: OrderedDict[str, _CrossEntry] = OrderedDict()
+        self._cross_bytes = 0
+        self._weight_solves = 1
+        self._predict_calls = 0
+        self._predictions = 0
+        self._batches = 0
+        self._cross_hits = 0
+        self._cross_misses = 0
+        self._clamped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def factor(self) -> TileMatrix:
+        return self.solver.factor
+
+    @property
+    def n_train(self) -> int:
+        return len(self.x_train)
+
+    def state_key(self) -> str:
+        """Content hash of the served state (kernel geometry, theta,
+        locations, observations) — the invalidation key the owning
+        model compares, mirroring :class:`GeometryCache`."""
+        digest = hashlib.sha1(self.kernel.geometry_key().encode())
+        digest.update(np.ascontiguousarray(self.theta).tobytes())
+        digest.update(locations_fingerprint(self.x_train).encode())
+        digest.update(self.z_train.tobytes())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # cross-covariance panels
+    # ------------------------------------------------------------------
+    def _cross_values(self, x_batch: np.ndarray) -> np.ndarray:
+        if self.cache is not None:
+            geom = self.cache.pair_geometry(self.kernel, self.x_train, x_batch)
+            return self.kernel.from_geometry(self.theta, geom)
+        return self.kernel(self.theta, self.x_train, x_batch)
+
+    def _entry_for(
+        self, x_batch: np.ndarray, *, need_half: bool, use_cache: bool
+    ) -> _CrossEntry:
+        """The batch's cross panel (and, when asked, its forward
+        half-solve ``L^{-1} Sigma_nm``), from the LRU when possible."""
+        use_cache = use_cache and self.cross_cache_bytes > 0
+        key = locations_fingerprint(x_batch) if use_cache else None
+        if key is not None:
+            with self._lock:
+                entry = self._cross.get(key)
+                if entry is not None:
+                    self._cross.move_to_end(key)
+                    self._cross_hits += 1
+                    if not need_half or entry.half is not None:
+                        return entry
+                else:
+                    self._cross_misses += 1
+        else:
+            with self._lock:
+                self._cross_misses += 1
+            entry = None
+
+        if entry is None:
+            entry = _CrossEntry(self._cross_values(x_batch))
+        if need_half and entry.half is None:
+            entry.half = self.solver.forward(entry.cross)
+        if key is not None:
+            with self._lock:
+                old = self._cross.pop(key, None)
+                if old is not None:
+                    self._cross_bytes -= old.nbytes
+                if entry.nbytes <= self.cross_cache_bytes:
+                    self._cross[key] = entry
+                    self._cross_bytes += entry.nbytes
+                    while self._cross_bytes > self.cross_cache_bytes:
+                        _, evicted = self._cross.popitem(last=False)
+                        self._cross_bytes -= evicted.nbytes
+        return entry
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _check_test(self, x_test: np.ndarray) -> np.ndarray:
+        x_test = as_locations(x_test, dim=self.kernel.ndim_locations)
+        if x_test.shape[1] != self.x_train.shape[1]:
+            raise ShapeError("train and test locations have different dimensions")
+        return x_test
+
+    def _predict_batch(
+        self, x_batch: np.ndarray, return_uncertainty: bool, use_cache: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        entry = self._entry_for(
+            x_batch, need_half=return_uncertainty, use_cache=use_cache
+        )
+        mean = entry.cross.T @ self.weights
+        variance = None
+        if return_uncertainty:
+            half = entry.half
+            variance = self.marginal - np.einsum("ij,ij->j", half, half)
+            variance, clamped = clamp_variance(variance, where="PredictionEngine")
+            if clamped:
+                with self._lock:
+                    self._clamped += clamped
+        with self._lock:
+            self._batches += 1
+        return mean, variance
+
+    def predict(
+        self,
+        x_test: np.ndarray,
+        *,
+        return_uncertainty: bool = False,
+        batch: int | None = None,
+        workers: int | None = None,
+    ) -> PredictionResult:
+        """Batched kriging prediction (Eq. 4) and optional uncertainty
+        (Eq. 5) at ``x_test``.
+
+        Batches are independent multi-RHS solves, so ``workers > 1``
+        computes them on a thread pool with bit-identical results.
+        """
+        x_test = self._check_test(x_test)
+        width = self.batch if batch is None else max(1, int(batch))
+        nworkers = self.workers if workers is None else max(1, int(workers))
+        m = len(x_test)
+        mean = np.empty(m, dtype=np.float64)
+        variance = np.empty(m, dtype=np.float64) if return_uncertainty else None
+        spans = [(s, min(s + width, m)) for s in range(0, m, width)]
+
+        def run(span: tuple[int, int]) -> None:
+            start, stop = span
+            mb, vb = self._predict_batch(
+                x_test[start:stop], return_uncertainty, use_cache=True
+            )
+            mean[start:stop] = mb
+            if variance is not None:
+                variance[start:stop] = vb
+
+        if nworkers > 1 and len(spans) > 1:
+            with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                list(pool.map(run, spans))
+        else:
+            for span in spans:
+                run(span)
+        with self._lock:
+            self._predict_calls += 1
+            self._predictions += m
+        return PredictionResult(mean=mean, variance=variance)
+
+    def predict_iter(
+        self,
+        x_test: np.ndarray,
+        *,
+        return_uncertainty: bool = False,
+        batch: int | None = None,
+    ):
+        """Stream predictions batch by batch for grids too large to
+        hold ``n_train x m`` cross blocks: yields one
+        :class:`PredictionResult` per batch, touching only
+        ``n_train x batch`` memory at a time (the value LRU is
+        bypassed so streaming cannot grow the cache)."""
+        x_test = self._check_test(x_test)
+        width = self.batch if batch is None else max(1, int(batch))
+        m = len(x_test)
+        for start in range(0, m, width):
+            stop = min(start + width, m)
+            mb, vb = self._predict_batch(
+                x_test[start:stop], return_uncertainty, use_cache=False
+            )
+            with self._lock:
+                self._predict_calls += 1
+                self._predictions += stop - start
+            yield PredictionResult(mean=mb, variance=vb)
+
+    def score(self, x_test: np.ndarray, z_test: np.ndarray) -> float:
+        """Mean squared prediction error on held-out data (the paper's
+        MSPE column)."""
+        pred = self.predict(x_test)
+        z_test = np.asarray(z_test, dtype=np.float64).ravel()
+        if z_test.shape != pred.mean.shape:
+            raise ShapeError("z_test length does not match x_test")
+        return float(np.mean((pred.mean - z_test) ** 2))
+
+    def simulate(
+        self,
+        x_test: np.ndarray,
+        *,
+        size: int = 1,
+        seed: int | None = None,
+        jitter: float = 1.0e-10,
+    ) -> np.ndarray:
+        """Conditional simulation (Eq. 3) reusing the engine's factor,
+        solver, and weights."""
+        from .simulation import conditional_simulation
+
+        return conditional_simulation(
+            self.kernel, self.theta, self.x_train, self.z_train,
+            self._check_test(x_test), self.factor,
+            size=size, seed=seed, jitter=jitter,
+            solver=self.solver, weights=self.weights,
+        )
+
+    def stats(self) -> ServingStats:
+        with self._lock:
+            return ServingStats(
+                predict_calls=self._predict_calls,
+                predictions=self._predictions,
+                batches=self._batches,
+                weight_solves=self._weight_solves,
+                tile_casts=self.solver.casts,
+                solves=self.solver.solves,
+                cross_hits=self._cross_hits,
+                cross_misses=self._cross_misses,
+                cross_cache_bytes=self._cross_bytes,
+                clamped_variances=self._clamped,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PredictionEngine(n={self.n_train}, variantless-factor "
+            f"nt={self.factor.nt}, served={self._predictions})"
+        )

@@ -12,6 +12,13 @@ two kriging solves — which only needs the (already factored) training
 covariance plus one small test-block Cholesky, never the full joint
 factorization.
 
+All factor applications are multi-RHS panel operations on a
+:class:`~repro.tile.solve.PanelSolver`: the ``size`` unconditional
+train fields are one ``(n, size)`` forward application, not ``size``
+column sweeps.  A serving engine passes its warm ``solver`` and
+``weights`` in, so repeated simulation shares the per-tile casts and
+the Eq.-4 weight solve with prediction.
+
 Conditional draws are what turn point predictions into maps with
 spatially coherent uncertainty — the downstream product environmental
 applications consume.
@@ -25,7 +32,7 @@ from ..exceptions import ShapeError
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
 from ..tile.matrix import TileMatrix
-from ..tile.solve import backward_solve, forward_solve
+from ..tile.solve import PanelSolver
 
 __all__ = ["conditional_simulation"]
 
@@ -41,11 +48,16 @@ def conditional_simulation(
     size: int = 1,
     seed: int | None = None,
     jitter: float = 1.0e-10,
+    solver: PanelSolver | None = None,
+    weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """Draw ``size`` conditional realizations at ``x_test``.
 
     ``factor`` is the tile Cholesky factor of ``Sigma_nn(theta)`` over
     ``x_train`` (e.g. from the fitted model's likelihood evaluation).
+    ``solver``/``weights`` let a warm serving engine share its cached
+    factor operands and solved Eq.-4 weights; both default to fresh
+    computations against ``factor``.
     Returns ``(m,)`` for ``size == 1`` else ``(size, m)``.
     """
     x_train = as_locations(x_train)
@@ -56,17 +68,22 @@ def conditional_simulation(
         raise ShapeError("z_train length does not match x_train")
     if factor.n != n:
         raise ShapeError("factor dimension does not match x_train")
+    if solver is None:
+        solver = PanelSolver(factor)
+    elif solver.factor.n != n:
+        raise ShapeError("solver factor dimension does not match x_train")
     rng = np.random.default_rng(seed)
 
     cross = kernel(theta, x_train, x_test)  # (n, m)
-    weights = backward_solve(factor, forward_solve(factor, z))
+    if weights is None:
+        weights = solver.solve(z)
     krig_mean = cross.T @ weights  # (m,)
 
     # Unconditional joint simulation over [train; test]: use the exact
     # block factorization  [L_nn 0; B_half L_schur]  with
     # B_half = (L_nn^{-1} Sigma_nm)^T and the Schur complement of the
     # test block (which is exactly the kriging covariance).
-    half = forward_solve(factor, cross)                 # L^{-1} Sigma_nm, (n, m)
+    half = solver.forward(cross)                        # L^{-1} Sigma_nm, (n, m)
     schur = kernel.covariance_matrix(theta, x_test)
     schur -= half.T @ half
     schur[np.diag_indices_from(schur)] += jitter
@@ -81,35 +98,13 @@ def conditional_simulation(
 
     eps_n = rng.standard_normal((n, size))
     eps_m = rng.standard_normal((m, size))
-    # Unconditional fields restricted to train / test indices.
-    u_train = np.empty((n, size))
-    for s in range(size):
-        # L_nn eps_n via the tiled factor (forward application).
-        u_train[:, s] = _apply_lower(factor, eps_n[:, s])
+    # Unconditional fields restricted to train / test indices:
+    # L_nn eps_n in one (n, size) panel application.
+    u_train = solver.apply_lower(eps_n)
     u_test = half.T @ eps_n + l_schur @ eps_m            # (m, size)
 
     # Conditioning by kriging: z_cond = krig_mean + (u_test - krig(u_train)).
-    w_u = backward_solve(factor, forward_solve(factor, u_train))
+    w_u = solver.solve(u_train)
     krig_u = cross.T @ w_u                               # (m, size)
     draws = krig_mean[:, None] + (u_test - krig_u)
     return draws[:, 0] if size == 1 else draws.T
-
-
-def _apply_lower(factor: TileMatrix, v: np.ndarray) -> np.ndarray:
-    """``L @ v`` for the tiled lower factor."""
-    from ..tile.solve import tile_apply
-
-    layout = factor.layout
-    out = np.zeros_like(v, dtype=np.float64)
-    for i in range(layout.nt):
-        sl_i = layout.block_slice(i)
-        acc = np.zeros(layout.block_size(i))
-        for j in range(i + 1):
-            tile = factor.get(i, j)
-            block = v[layout.block_slice(j)]
-            if i == j:
-                acc += np.tril(tile.to_dense64()) @ block
-            else:
-                acc += tile_apply(tile, block)
-        out[sl_i] = acc
-    return out

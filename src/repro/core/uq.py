@@ -27,6 +27,7 @@ from scipy import special
 
 from ..exceptions import NotPositiveDefiniteError, OptimizationError, ParameterError
 from ..kernels.base import CovarianceKernel
+from ..tile.geometry import GeometryCache
 from .likelihood import loglikelihood
 from .variants import DENSE_FP64, VariantConfig, get_variant
 
@@ -45,12 +46,14 @@ def _loglik_fn(
     tile_size: int,
     variant: VariantConfig,
     nugget: float,
+    cache: GeometryCache | None = None,
 ):
     def fn(theta: np.ndarray) -> float:
         try:
             return loglikelihood(
                 kernel, theta, x, z,
                 tile_size=tile_size, variant=variant, nugget=nugget,
+                cache=cache,
             ).value
         except (NotPositiveDefiniteError, ParameterError):
             return -np.inf
@@ -81,12 +84,19 @@ def observed_information(
     variant: "str | VariantConfig" = DENSE_FP64,
     nugget: float = 0.0,
     rel_step: float = 1.0e-3,
+    cache: GeometryCache | None = None,
 ) -> np.ndarray:
     """Observed information ``I = -Hessian(loglik)`` at ``theta_hat``
-    by central second differences (O(p^2) likelihood evaluations)."""
+    by central second differences (O(p^2) likelihood evaluations).
+
+    ``cache`` shares theta-independent tile geometry across the
+    evaluations — the Hessian's O(p^2) factorizations all reuse one
+    geometry build, the same amortization the serving engine applies
+    to prediction.
+    """
     cfg = get_variant(variant)
     theta_hat = kernel.validate_theta(theta_hat)
-    fn = _loglik_fn(kernel, x, z, tile_size, cfg, nugget)
+    fn = _loglik_fn(kernel, x, z, tile_size, cfg, nugget, cache)
     p = theta_hat.shape[0]
     h = _steps(kernel, theta_hat, rel_step)
     f0 = fn(theta_hat)
@@ -160,6 +170,7 @@ def mle_uncertainty(
     nugget: float = 0.0,
     level: float = 0.95,
     rel_step: float = 1.0e-3,
+    cache: GeometryCache | None = None,
 ) -> MLEUncertainty:
     """Asymptotic covariance ``I^{-1}``, standard errors, and Wald
     intervals at confidence ``level``.
@@ -171,7 +182,7 @@ def mle_uncertainty(
     info = observed_information(
         kernel, theta_hat, x, z,
         tile_size=tile_size, variant=variant, nugget=nugget,
-        rel_step=rel_step,
+        rel_step=rel_step, cache=cache,
     )
     try:
         cov = np.linalg.inv(info)
@@ -207,6 +218,7 @@ def profile_likelihood(
     tile_size: int,
     variant: "str | VariantConfig" = DENSE_FP64,
     nugget: float = 0.0,
+    cache: GeometryCache | None = None,
 ) -> np.ndarray:
     """Log-likelihood along one parameter axis with the others fixed at
     ``theta_hat`` (the cheap fixed-profile, not the re-optimized one)."""
@@ -218,7 +230,7 @@ def profile_likelihood(
         raise ParameterError(
             f"unknown parameter {param!r}; choose from {kernel.param_names}"
         ) from None
-    fn = _loglik_fn(kernel, x, z, tile_size, cfg, nugget)
+    fn = _loglik_fn(kernel, x, z, tile_size, cfg, nugget, cache)
     out = np.empty(len(values))
     for i, v in enumerate(np.asarray(values, dtype=np.float64)):
         theta = theta_hat.copy()

@@ -48,6 +48,8 @@ from .recovery import (
 )
 from .refinement import RefinementResult, refine_solve
 from .solve import (
+    PanelSolver,
+    apply_lower,
     backward_solve,
     forward_solve,
     symmetric_matvec,
@@ -92,8 +94,10 @@ __all__ = [
     "build_planned_covariance",
     "tile_cholesky",
     "CholeskyStats",
+    "PanelSolver",
     "forward_solve",
     "backward_solve",
+    "apply_lower",
     "tile_logdet",
     "RecoveryPolicy",
     "RecoveryAction",

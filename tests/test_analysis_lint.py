@@ -112,6 +112,16 @@ class TestLint006CheckFinite:
         # np.linalg.solve has no check_finite parameter.
         assert rules_of("x = np.linalg.solve(a, b)\n") == []
 
+    def test_scipy_generic_solve_flagged(self):
+        assert rules_of("x = sla.solve(a, b)\n") == ["LINT006"]
+        assert rules_of("x = scipy.linalg.solve(a, b)\n") == ["LINT006"]
+
+    def test_solver_object_solve_exempt(self):
+        # Solver *objects* (PanelSolver, engines) expose .solve()
+        # without a check_finite parameter.
+        assert rules_of("x = solver.solve(b)\n") == []
+        assert rules_of("x = self.solver.solve(b)\n") == []
+
 
 class TestLint007EvalExec:
     def test_eval_flagged(self):
