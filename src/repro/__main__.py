@@ -12,12 +12,16 @@ Commands
     Print the Fig. 5 dense/TLR crossover analysis for a tile size.
 ``scaling [--nodes N] [--matrix M]``
     Fig. 10-style projection for a weak-correlation problem.
-``analyze [--lint PATH ...] [--golden-plans] [--serving] [--json] [--rules]``
-    Static verification layer: run the numerical-hygiene linter over
-    source paths, the golden-plan suite (every shipped variant at nt in
-    {4, 8} through the plan + DAG verifiers), and/or the serving
+``analyze [--lint PATH ...] [--golden-plans] [--serving] [--resilience]
+[--json] [--rules]``
+    Verification layer: run the numerical-hygiene linter over source
+    paths, the golden-plan suite (every shipped variant at nt in
+    {4, 8} through the plan + DAG verifiers), the serving
     amortization check (one engine build, one Eq.-4 weight solve, no
-    per-batch tile re-casts).  Exit code 0 iff no error-severity
+    per-batch tile re-casts), and/or the golden resilience invariants
+    (seeded chaos reproducibility, inert-hook bit-identity,
+    degradation ladder, deadline drain).  Exit code 0 iff no
+    error-severity
     finding is reported; warnings do not fail the run.
 """
 
@@ -124,22 +128,28 @@ def _cmd_analyze(args) -> int:
         DAG_RULES,
         LINT_RULES,
         PLAN_RULES,
+        RES_RULES,
         SERVE_RULES,
         AnalysisReport,
         Severity,
         check_golden_plans,
+        check_golden_resilience,
         check_golden_serving,
         lint_paths,
     )
 
     if args.rules:
-        for catalog in (PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES):
+        for catalog in (
+            PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES, RES_RULES,
+        ):
             for rule, text in catalog.items():
                 print(f"  {rule}  {text}")
         return 0
-    if not args.lint and not args.golden_plans and not args.serving:
+    if not (args.lint or args.golden_plans or args.serving
+            or args.resilience):
         print("nothing to analyze: pass --lint PATH ..., "
-              "--golden-plans, and/or --serving", file=sys.stderr)
+              "--golden-plans, --serving, and/or --resilience",
+              file=sys.stderr)
         return 2
     report = AnalysisReport()
     if args.lint:
@@ -148,6 +158,8 @@ def _cmd_analyze(args) -> int:
         report.extend(check_golden_plans())
     if args.serving:
         report.extend(check_golden_serving())
+    if args.resilience:
+        report.extend(check_golden_resilience())
     if args.json:
         print(report.to_json(indent=2))
     else:
@@ -179,6 +191,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="verify the prediction serving path amortizes "
                           "(one engine build, one weight solve, no "
                           "per-batch tile re-casts)")
+    p_a.add_argument("--resilience", action="store_true",
+                     help="run the golden resilience invariants (seeded "
+                          "chaos reproducibility, inert-hook identity, "
+                          "degradation ladder, deadline drain)")
     p_a.add_argument("--json", action="store_true",
                      help="machine-readable JSON output")
     p_a.add_argument("--rules", action="store_true",

@@ -32,6 +32,7 @@ from .golden import (
 )
 from .lint import LINT_RULES, lint_file, lint_paths, lint_source
 from .plancheck import PLAN_RULES, check_plan, plan_from_matrix
+from .resilience import RES_RULES, check_golden_resilience
 
 __all__ = [
     "AnalysisReport",
@@ -48,10 +49,12 @@ __all__ = [
     "check_golden_plan",
     "check_golden_plans",
     "check_golden_serving",
+    "check_golden_resilience",
     "GOLDEN_VARIANTS",
     "GOLDEN_NTS",
     "PLAN_RULES",
     "DAG_RULES",
     "LINT_RULES",
     "SERVE_RULES",
+    "RES_RULES",
 ]

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
+from ..resilience import Deadline, HealthReport, ResilienceConfig
 from ..tile.geometry import GeometryCache
 from .likelihood import LikelihoodResult, loglikelihood
 from .variants import DENSE_FP64, VariantConfig, get_variant
@@ -70,6 +71,7 @@ class EvaluationEngine:
         cache: "GeometryCache | bool | None" = None,
         workers: int | None = None,
         fast_lr: bool | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self.cfg = get_variant(variant)
         self.kernel = kernel
@@ -87,20 +89,44 @@ class EvaluationEngine:
             self.cache = cache
         else:  # None or True: own a fresh cache
             self.cache = GeometryCache()
+        # bind() so every evaluation of this engine shares one chaos
+        # injector (one epoch stream, one tally); None stays None.
+        self.resilience = None if resilience is None else resilience.bind()
         self.rank_hints: dict[tuple[int, int], int] = {}
         self._evaluations = 0
+        self._failures = 0
+        self._consecutive_failures = 0
+        self._retries = 0
+        self._recoveries = 0
 
-    def evaluate(self, theta: np.ndarray) -> LikelihoodResult:
+    def evaluate(
+        self, theta: np.ndarray, *, deadline: Deadline | None = None
+    ) -> LikelihoodResult:
         """One likelihood evaluation with every reusable piece applied,
-        feeding this evaluation's ranks back as the next one's hints."""
-        result = loglikelihood(
-            self.kernel, theta, self.x, self.z,
-            tile_size=self.tile_size, variant=self.cfg, nugget=self.nugget,
-            cache=self.cache,
-            rank_hints=self.rank_hints if self.rank_hints else None,
-            workers=self.workers, fast_lr=self.fast_lr,
-        )
+        feeding this evaluation's ranks back as the next one's hints.
+
+        Failures (indefinite covariance, exhausted recovery, expired
+        ``deadline``) re-raise after updating the engine's error
+        budget; :meth:`health` reports it.
+        """
         self._evaluations += 1
+        try:
+            result = loglikelihood(
+                self.kernel, theta, self.x, self.z,
+                tile_size=self.tile_size, variant=self.cfg, nugget=self.nugget,
+                cache=self.cache,
+                rank_hints=self.rank_hints if self.rank_hints else None,
+                workers=self.workers, fast_lr=self.fast_lr,
+                resilience=self.resilience, deadline=deadline,
+            )
+        except Exception:
+            self._failures += 1
+            self._consecutive_failures += 1
+            raise
+        self._consecutive_failures = 0
+        self._retries += result.stats.retries
+        if result.recovery is not None:
+            self._recoveries += 1
         if result.report.ranks:
             self.rank_hints.update(result.report.ranks)
         return result
@@ -111,4 +137,17 @@ class EvaluationEngine:
             geometry_hits=0 if self.cache is None else self.cache.hits,
             geometry_misses=0 if self.cache is None else self.cache.misses,
             warm_tiles=len(self.rank_hints),
+        )
+
+    def health(self) -> HealthReport:
+        """Error-budget report over this engine's lifetime: how many
+        evaluations failed, the current failure streak, and how much
+        work the resilience layer absorbed (task retries, recovery-
+        ladder rescues)."""
+        return HealthReport(
+            calls=self._evaluations,
+            failures=self._failures,
+            consecutive_failures=self._consecutive_failures,
+            retries=self._retries,
+            recoveries=self._recoveries,
         )

@@ -18,6 +18,8 @@ import numpy as np
 
 from ..exceptions import NotPositiveDefiniteError, SchedulingError, ShapeError
 from ..kernels.base import CovarianceKernel
+from ..resilience import Deadline, ResilienceConfig
+from ..resilience.validate import require_finite
 from ..tile.assembly import AssemblyReport, build_planned_covariance
 from ..tile.cholesky import CholeskyStats, tile_cholesky
 from ..tile.compression import use_fast_lr
@@ -58,6 +60,8 @@ class LikelihoodResult:
 
 
 def _check_observations(x: np.ndarray, z: np.ndarray) -> np.ndarray:
+    require_finite("x", x)
+    require_finite("z", z)
     z = np.asarray(z, dtype=np.float64).ravel()
     if z.shape[0] != len(x):
         raise ShapeError(
@@ -73,6 +77,8 @@ def _factor_planned(
     max_rank: int | None,
     fp16_accumulate_fp32: bool,
     workers: int,
+    resilience=None,
+    deadline=None,
 ) -> tuple[TileMatrix, CholeskyStats]:
     """Factor a planned covariance, sequentially or on the threaded DAG
     executor.
@@ -82,8 +88,14 @@ def _factor_planned(
     :class:`~repro.exceptions.NotPositiveDefiniteError` is unwrapped
     here so MLE drivers and the recovery ladder see the same exception
     either way.
+
+    Task-level resilience hooks (retry / chaos) and deadlines live in
+    the DAG executor, so configuring either routes the factorization
+    through it even at ``workers=1``; with both absent the sequential
+    reference path runs bit-identically to the seed.
     """
-    if workers <= 1:
+    task_level = resilience is not None and resilience.task_level
+    if workers <= 1 and not task_level and deadline is None:
         return tile_cholesky(
             matrix,
             tile_tol=tile_tol,
@@ -99,6 +111,9 @@ def _factor_planned(
             tile_tol=tile_tol,
             max_rank=max_rank,
             fp16_accumulate_fp32=fp16_accumulate_fp32,
+            deadline=deadline,
+            retry=None if resilience is None else resilience.retry,
+            chaos=None if resilience is None else resilience.resolve_chaos(),
         )
     except SchedulingError as exc:
         cause = exc.__cause__
@@ -122,6 +137,8 @@ def loglikelihood(
     rank_hints: "dict[tuple[int, int], int] | None" = None,
     workers: int | None = None,
     fast_lr: bool | None = None,
+    resilience: ResilienceConfig | None = None,
+    deadline: Deadline | None = None,
 ) -> LikelihoodResult:
     """Evaluate Eq. (1) through the tiled Cholesky pipeline.
 
@@ -140,8 +157,18 @@ def loglikelihood(
     and ``fast_lr`` default to the variant's settings.  The
     :class:`~repro.core.engine.EvaluationEngine` wires them together
     for repeated evaluations.
+
+    ``resilience`` opts into the hardening layer
+    (:class:`~repro.resilience.ResilienceConfig`: task retries with
+    seeded backoff, chaos injection); ``deadline`` bounds the wall
+    clock of the factorization, raising
+    :class:`~repro.exceptions.DeadlineExceededError` after a clean
+    pool drain.  Both default to ``None`` — the unhardened path, which
+    is bit-identical to earlier releases.
     """
     cfg = get_variant(variant)
+    if resilience is not None:
+        resilience = resilience.bind()  # one chaos injector per call
     z = _check_observations(x, z)
     max_rank = int(cfg.max_rank_fraction * tile_size) or None
     nworkers = cfg.workers if workers is None else max(1, int(workers))
@@ -165,6 +192,7 @@ def loglikelihood(
                 matrix, tile_tol=tile_tol, max_rank=max_rank,
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
+                resilience=resilience, deadline=deadline,
             )
 
         with use_fast_lr(fast):
@@ -186,6 +214,7 @@ def loglikelihood(
                 matrix, tile_tol=report.tile_tol, max_rank=max_rank,
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
+                resilience=resilience, deadline=deadline,
             )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z)
@@ -219,6 +248,8 @@ def loglikelihood_replicated(
     rank_hints: "dict[tuple[int, int], int] | None" = None,
     workers: int | None = None,
     fast_lr: bool | None = None,
+    resilience: ResilienceConfig | None = None,
+    deadline: Deadline | None = None,
 ) -> np.ndarray:
     """Log-likelihoods of many independent replicates sharing one
     location set (the Fig. 6 protocol: 100 synthetic fields at the same
@@ -233,6 +264,10 @@ def loglikelihood_replicated(
     indefinite planned covariance is rescued rather than raised.
     """
     cfg = get_variant(variant)
+    if resilience is not None:
+        resilience = resilience.bind()  # one chaos injector per call
+    require_finite("x", x)
+    require_finite("z_replicates", z_replicates)
     z = np.asarray(z_replicates, dtype=np.float64)
     if z.ndim != 2:
         raise ShapeError("z_replicates must be (reps, n)")
@@ -261,6 +296,7 @@ def loglikelihood_replicated(
                 matrix, tile_tol=tile_tol, max_rank=max_rank,
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
+                resilience=resilience, deadline=deadline,
             )
 
         with use_fast_lr(fast):
@@ -281,6 +317,7 @@ def loglikelihood_replicated(
                 matrix, tile_tol=report.tile_tol, max_rank=max_rank,
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
+                resilience=resilience, deadline=deadline,
             )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z.T)  # (n, reps)

@@ -18,17 +18,22 @@ driver resumes instead of restarting).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import NotPositiveDefiniteError, ParameterError
+from ..exceptions import (
+    DeadlineExceededError,
+    NotPositiveDefiniteError,
+    ParameterError,
+)
 from ..kernels.base import CovarianceKernel
 from ..optim.bounds import BoundTransform
 from ..optim.neldermead import nelder_mead
+from ..resilience import Deadline, ResilienceConfig, degradation_steps
+from ..resilience.validate import require_finite
 from ..tile.geometry import GeometryCache
-from ..tile.recovery import RecoveryReport
+from ..tile.recovery import RecoveryAction, RecoveryReport
 from .engine import EvaluationEngine
 from .variants import DENSE_FP64, VariantConfig, get_variant
 
@@ -56,6 +61,12 @@ class MLEResult:
     #: Why the fit stopped early (``"max_nfev"`` / ``"time_budget"``),
     #: or ``None`` when the optimizer itself terminated.
     stopped_on: str | None = None
+    #: Fit-level degradation-ladder report: non-``None`` only when the
+    #: resilience layer downgraded the compute variant mid-fit.  Its
+    #: ``variant_path`` lists every variant attempted (first to last),
+    #: ``actions`` one ``"downgrade"`` step per refit, and ``retries``
+    #: the transient task retries absorbed across the whole fit.
+    degradation: RecoveryReport | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         vals = ", ".join(f"{v:.4g}" for v in self.theta)
@@ -92,6 +103,7 @@ def fit_mle(
     workers: int | None = None,
     cache: "GeometryCache | bool | None" = None,
     fast_lr: bool | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> MLEResult:
     """Fit kernel parameters by maximum likelihood.
 
@@ -115,89 +127,179 @@ def fit_mle(
     opts into the fast low-rank arithmetic (see
     :class:`~repro.core.variants.VariantConfig`); each defaults to the
     variant's setting.
+
+    ``resilience`` opts into the hardening layer: transient tile
+    failures retry with seeded backoff, chaos injection (when
+    configured) targets the real executor, and a
+    :class:`~repro.resilience.DegradationPolicy` refits under
+    progressively safer variants (TLR -> wider dense band -> dense
+    FP64) when a fit keeps breaking down numerically — every
+    downgrade recorded on ``result.degradation``.  With a
+    ``time_budget_s`` the budget also becomes a hard
+    :class:`~repro.resilience.Deadline` inside each factorization, so
+    a single long evaluation aborts cleanly (pool drained, no leaked
+    threads) instead of overshooting.
     """
     cfg = get_variant(variant)
+    require_finite("x", x)
+    require_finite("z", z)
+    if resilience is not None:
+        resilience = resilience.bind()
     transform = BoundTransform.from_specs(kernel.param_specs)
     if theta0 is None:
         theta0 = kernel.default_theta()
     theta0 = kernel.validate_theta(theta0)
     u0 = transform.to_unconstrained(theta0)
-    engine = EvaluationEngine(
-        kernel, x, z, tile_size=tile_size, variant=cfg, nugget=nugget,
-        cache=cache, workers=workers, fast_lr=fast_lr,
-    )
 
-    failures = 0
-    nfev = 0
-    recoveries: list[RecoveryReport] = []
-    best: tuple[float, np.ndarray] | None = None
-    best_history: list[float] = []
-    t0 = time.monotonic()
+    deadline = Deadline.after(time_budget_s)
+    nfev_total = 0
 
-    def objective(u: np.ndarray) -> float:
-        nonlocal failures, nfev, best
-        if max_nfev is not None and nfev >= max_nfev:
-            raise _BudgetExhausted("max_nfev")
-        if time_budget_s is not None and time.monotonic() - t0 >= time_budget_s:
-            raise _BudgetExhausted("time_budget")
-        nfev += 1
-        theta = transform.to_constrained(u)
-        try:
-            result = engine.evaluate(theta)
-        except (NotPositiveDefiniteError, ParameterError):
-            # RecoveryExhaustedError lands here too: an indefinite
-            # covariance the ladder could not rescue is still just a
-            # rejected optimizer step.
-            failures += 1
-            return np.inf
-        if result.recovery is not None:
-            recoveries.append(result.recovery)
-        if not np.isfinite(result.value):
-            failures += 1
-            return np.inf
-        value = -result.value
-        if best is None or value < best[0]:
-            best = (value, np.array(u, dtype=np.float64))
-        best_history.append(best[0])
-        return value
-
-    stopped_on: str | None = None
-    try:
-        opt = nelder_mead(
-            objective,
-            u0,
-            initial_step=initial_step,
-            max_iter=max_iter,
-            fatol=fatol,
-            xatol=xatol,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every,
+    def run_fit(step_cfg: VariantConfig) -> tuple[MLEResult, EvaluationEngine]:
+        """One complete optimization under one compute variant; the
+        budgets (``max_nfev``, the deadline) are shared across rungs."""
+        nonlocal nfev_total
+        nfev_start = nfev_total
+        engine = EvaluationEngine(
+            kernel, x, z, tile_size=tile_size, variant=step_cfg,
+            nugget=nugget, cache=cache, workers=workers, fast_lr=fast_lr,
+            resilience=resilience,
         )
-        u_hat, fun = opt.x, opt.fun
-        nit, converged = opt.nit, opt.converged
-        history = [-v for v in opt.history]
-    except _BudgetExhausted as stop:
-        if best is None:
-            raise ParameterError(
-                f"evaluation budget ({stop.reason}) exhausted before any "
-                "successful likelihood evaluation"
-            ) from None
-        stopped_on = stop.reason
-        fun, u_hat = best
-        nit, converged = 0, False
-        history = [-v for v in best_history]
+        failures = 0
+        recoveries: list[RecoveryReport] = []
+        best: tuple[float, np.ndarray] | None = None
+        best_history: list[float] = []
 
-    theta_hat = transform.to_constrained(u_hat)
-    return MLEResult(
-        theta=theta_hat,
-        loglik=-fun,
-        nfev=nfev,
-        nit=nit,
-        converged=converged,
-        variant=cfg.name,
-        history=history,
-        failed_evaluations=failures,
-        recovered_evaluations=len(recoveries),
-        recovery_reports=recoveries,
-        stopped_on=stopped_on,
+        def objective(u: np.ndarray) -> float:
+            nonlocal failures, best, nfev_total
+            if max_nfev is not None and nfev_total >= max_nfev:
+                raise _BudgetExhausted("max_nfev")
+            if deadline is not None and deadline.expired:
+                raise _BudgetExhausted("time_budget")
+            nfev_total += 1
+            theta = transform.to_constrained(u)
+            try:
+                result = engine.evaluate(theta, deadline=deadline)
+            except DeadlineExceededError:
+                # The factorization itself overran the fit budget: the
+                # executor drained its pool and discarded the partial
+                # factor; stop the fit on the best point so far.
+                raise _BudgetExhausted("time_budget") from None
+            except (NotPositiveDefiniteError, ParameterError):
+                # RecoveryExhaustedError lands here too: an indefinite
+                # covariance the ladder could not rescue is still just a
+                # rejected optimizer step.
+                failures += 1
+                return np.inf
+            if result.recovery is not None:
+                recoveries.append(result.recovery)
+            if not np.isfinite(result.value):
+                failures += 1
+                return np.inf
+            value = -result.value
+            if best is None or value < best[0]:
+                best = (value, np.array(u, dtype=np.float64))
+            best_history.append(best[0])
+            return value
+
+        stopped_on: str | None = None
+        try:
+            opt = nelder_mead(
+                objective,
+                u0,
+                initial_step=initial_step,
+                max_iter=max_iter,
+                fatol=fatol,
+                xatol=xatol,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+            )
+            u_hat, fun = opt.x, opt.fun
+            nit, converged = opt.nit, opt.converged
+            history = [-v for v in opt.history]
+        except _BudgetExhausted as stop:
+            if best is None:
+                raise
+            stopped_on = stop.reason
+            fun, u_hat = best
+            nit, converged = 0, False
+            history = [-v for v in best_history]
+
+        theta_hat = transform.to_constrained(u_hat)
+        return MLEResult(
+            theta=theta_hat,
+            loglik=-fun,
+            nfev=nfev_total - nfev_start,  # this rung only; total at end
+            nit=nit,
+            converged=converged,
+            variant=step_cfg.name,
+            history=history,
+            failed_evaluations=failures,
+            recovered_evaluations=len(recoveries),
+            recovery_reports=recoveries,
+            stopped_on=stopped_on,
+        ), engine
+
+    policy = None if resilience is None else resilience.degradation
+    ladder = [cfg] + (
+        degradation_steps(cfg, policy) if policy is not None else []
     )
+
+    def unhealthy_reason(attempt: MLEResult) -> str | None:
+        """Why this fit should fall to a safer variant (None = healthy)."""
+        if not np.isfinite(attempt.loglik):
+            return "non-finite loglikelihood"
+        if policy is not None and attempt.nfev >= policy.min_evaluations:
+            frac = attempt.failed_evaluations / max(attempt.nfev, 1)
+            if frac > policy.max_failure_fraction:
+                return (
+                    f"failed evaluation fraction {frac:.0%} > "
+                    f"{policy.max_failure_fraction:.0%}"
+                )
+        return None
+
+    degradation = RecoveryReport()
+    all_failures = 0
+    all_recoveries: list[RecoveryReport] = []
+    result: MLEResult | None = None
+    for rung, step_cfg in enumerate(ladder):
+        budget_spent = (max_nfev is not None and nfev_total >= max_nfev) or (
+            deadline is not None and deadline.expired
+        )
+        if result is not None and budget_spent:
+            break
+        reason = None if result is None else unhealthy_reason(result)
+        if result is not None and reason is None:
+            break  # healthy — no (further) downgrade needed
+        try:
+            result, engine = run_fit(step_cfg)
+        except _BudgetExhausted as stop:
+            if result is None:
+                raise ParameterError(
+                    f"evaluation budget ({stop.reason}) exhausted before "
+                    "any successful likelihood evaluation"
+                ) from None
+            result.stopped_on = result.stopped_on or stop.reason
+            break
+        degradation.variant_path.append(step_cfg.name)
+        degradation.retries += engine.health().retries
+        all_failures += result.failed_evaluations
+        all_recoveries.extend(result.recovery_reports)
+        if rung > 0:
+            degradation.attempts += 1
+            degradation.actions.append(RecoveryAction(
+                step="downgrade",
+                tile_index=None,
+                detail=f"refit under {step_cfg.name}: {reason}",
+                succeeded=unhealthy_reason(result) is None,
+            ))
+
+    assert result is not None
+    degradation.recovered = bool(degradation.actions) and (
+        unhealthy_reason(result) is None
+    )
+    result.nfev = nfev_total
+    result.failed_evaluations = all_failures
+    result.recovery_reports = all_recoveries
+    result.recovered_evaluations = len(all_recoveries)
+    result.degradation = degradation if degradation.actions else None
+    return result

@@ -29,6 +29,8 @@ from ..kernels import (
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
 from ..ordering import order_points
+from ..resilience import ResilienceConfig
+from ..resilience.validate import require_finite
 from ..tile.geometry import GeometryCache, locations_fingerprint
 from ..tile.matrix import TileMatrix
 from .likelihood import LikelihoodResult, loglikelihood
@@ -79,6 +81,11 @@ class ExaGeoStatModel:
         exploit depends on it.
     nugget:
         Fixed diagonal regularization added to the covariance.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig` applied to
+        both fitting (task retries, variant degradation, chaos) and
+        serving (batch retries, circuit breaker).  ``None`` keeps every
+        hook inert — results are bit-identical to the unhardened paths.
     """
 
     def __init__(
@@ -89,12 +96,14 @@ class ExaGeoStatModel:
         tile_size: int = 64,
         ordering: str = "morton",
         nugget: float = 0.0,
+        resilience: ResilienceConfig | None = None,
     ):
         self.kernel = _resolve_kernel(kernel)
         self.variant = get_variant(variant)
         self.tile_size = int(tile_size)
         self.ordering = ordering
         self.nugget = float(nugget)
+        self.resilience = resilience
 
         self.theta_: np.ndarray | None = None
         self.loglik_: float | None = None
@@ -122,6 +131,8 @@ class ExaGeoStatModel:
             raise ReproError("model is not fitted; call fit() first")
 
     def _ordered(self, x: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        require_finite("x", x)
+        require_finite("z", z)
         x = as_locations(x, dim=self.kernel.ndim_locations)
         z = np.asarray(z, dtype=np.float64).ravel()
         if len(x) != len(z):
@@ -148,6 +159,7 @@ class ExaGeoStatModel:
         """Estimate kernel parameters by maximum likelihood."""
         xo, zo = self._ordered(x, z)
         mle_kwargs.setdefault("cache", self._cache)
+        mle_kwargs.setdefault("resilience", self.resilience)
         result = fit_mle(
             self.kernel, xo, zo,
             tile_size=self.tile_size, variant=self.variant,
@@ -207,7 +219,7 @@ class ExaGeoStatModel:
             factor = self._likelihood_at_fit().factor
             self._engine = PredictionEngine(
                 self.kernel, self.theta_, self._x, self._z, factor,
-                cache=self._cache,
+                cache=self._cache, resilience=self.resilience,
             )
             self._engine_key = key
             self._engine_builds += 1
@@ -230,16 +242,20 @@ class ExaGeoStatModel:
         return_uncertainty: bool = False,
         batch: int | None = None,
         workers: int | None = None,
+        deadline_s: float | None = None,
     ) -> PredictionResult:
         """Kriging prediction (Eq. 4) and uncertainty (Eq. 5) at new
         locations, using the fitted parameters.  Served by the model's
         :meth:`serving_engine`, so the factor, the Eq.-4 weights, and
         the cross geometry amortize across repeated calls; ``workers``
-        spreads test batches over a thread pool."""
+        spreads test batches over a thread pool and ``deadline_s``
+        bounds the call's wall clock (see
+        :meth:`PredictionEngine.predict`)."""
+        require_finite("x_new", x_new)
         return self._ensure_engine().predict(
             as_locations(x_new, dim=self.kernel.ndim_locations),
             return_uncertainty=return_uncertainty,
-            batch=batch, workers=workers,
+            batch=batch, workers=workers, deadline_s=deadline_s,
         )
 
     def simulate(

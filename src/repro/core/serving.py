@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +36,14 @@ from ..config import PREDICT_BATCH, SERVING_CROSS_CACHE_BYTES
 from ..exceptions import ShapeError
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
+from ..resilience import (
+    CancellationToken,
+    CircuitBreaker,
+    Deadline,
+    HealthReport,
+    ResilienceConfig,
+)
+from ..resilience.validate import require_finite
 from ..tile.geometry import GeometryCache, locations_fingerprint
 from ..tile.matrix import TileMatrix
 from ..tile.solve import PanelSolver
@@ -58,6 +66,8 @@ class ServingStats:
     cross_misses: int = 0
     cross_cache_bytes: int = 0
     clamped_variances: int = 0
+    failed_calls: int = 0  # predict/score calls that raised
+    batch_retries: int = 0  # transient batch failures absorbed
 
 
 class _CrossEntry:
@@ -97,6 +107,13 @@ class PredictionEngine:
         sequential ones.
     cross_cache_bytes:
         Byte budget of the cross-covariance value LRU (0 disables it).
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`: its
+        ``retry`` policy absorbs transient per-batch failures, its
+        ``chaos`` injector targets this engine's batches, and a
+        consecutive-failure circuit breaker trips the cross-value LRU
+        to a safe rebuild (see :meth:`health`).  ``None`` keeps every
+        hook inert.
     """
 
     def __init__(
@@ -111,6 +128,7 @@ class PredictionEngine:
         batch: int = PREDICT_BATCH,
         workers: int = 1,
         cross_cache_bytes: int = SERVING_CROSS_CACHE_BYTES,
+        resilience: ResilienceConfig | None = None,
     ):
         self.kernel = kernel
         self.theta = kernel.validate_theta(theta)
@@ -143,6 +161,18 @@ class PredictionEngine:
         self._cross_hits = 0
         self._cross_misses = 0
         self._clamped = 0
+        self._failed_calls = 0
+        self._batch_retries = 0
+
+        self.resilience = None if resilience is None else resilience.bind()
+        self._retry = None if self.resilience is None else self.resilience.retry
+        self._chaos = (
+            None if self.resilience is None else self.resilience.resolve_chaos()
+        )
+        # Consecutive failed serving calls trip the breaker, which
+        # clears the cross-value LRU: after a corruption streak the
+        # safest state is a cold cache rebuilt from scratch.
+        self._breaker = CircuitBreaker(on_trip=self.clear_cross_cache)
 
     # ------------------------------------------------------------------
     @property
@@ -172,49 +202,79 @@ class PredictionEngine:
             return self.kernel.from_geometry(self.theta, geom)
         return self.kernel(self.theta, self.x_train, x_batch)
 
+    def clear_cross_cache(self) -> None:
+        """Drop every cached cross panel (the circuit breaker's safe
+        rebuild; also useful after external memory pressure)."""
+        with self._lock:
+            self._cross.clear()
+            self._cross_bytes = 0
+
     def _entry_for(
         self, x_batch: np.ndarray, *, need_half: bool, use_cache: bool
     ) -> _CrossEntry:
         """The batch's cross panel (and, when asked, its forward
-        half-solve ``L^{-1} Sigma_nm``), from the LRU when possible."""
+        half-solve ``L^{-1} Sigma_nm``), from the LRU when possible.
+
+        Thread-safety discipline: cached ``_CrossEntry`` objects are
+        only ever *mutated* (the lazy ``half`` attach) while holding
+        the engine lock, together with the matching ``_cross_bytes``
+        update — so a concurrent eviction always subtracts exactly the
+        bytes that were added.  The expensive work (kernel values,
+        triangular solves) runs outside the lock; when two threads
+        race on one key, the loser's duplicate work is discarded under
+        the lock and the byte ledger stays exact.
+        """
         use_cache = use_cache and self.cross_cache_bytes > 0
         key = locations_fingerprint(x_batch) if use_cache else None
-        if key is not None:
-            with self._lock:
+        entry: _CrossEntry | None = None
+        with self._lock:
+            if key is not None:
                 entry = self._cross.get(key)
-                if entry is not None:
-                    self._cross.move_to_end(key)
-                    self._cross_hits += 1
-                    if not need_half or entry.half is not None:
-                        return entry
-                else:
-                    self._cross_misses += 1
-        else:
-            with self._lock:
+            if entry is not None:
+                self._cross.move_to_end(key)
+                self._cross_hits += 1
+                if not need_half or entry.half is not None:
+                    return entry
+            else:
                 self._cross_misses += 1
-            entry = None
 
-        if entry is None:
-            entry = _CrossEntry(self._cross_values(x_batch))
-        if need_half and entry.half is None:
-            entry.half = self.solver.forward(entry.cross)
-        if key is not None:
-            with self._lock:
-                old = self._cross.pop(key, None)
-                if old is not None:
-                    self._cross_bytes -= old.nbytes
+        # Compute outside the lock: kernel evaluation and the forward
+        # sweep dominate, and batches must overlap under workers > 1.
+        cross = entry.cross if entry is not None else self._cross_values(x_batch)
+        half = self.solver.forward(cross) if need_half else None
+
+        if key is None:
+            out = _CrossEntry(cross)
+            out.half = half
+            return out
+
+        with self._lock:
+            current = self._cross.get(key)
+            if current is not None:
+                # Cached (by us earlier, or by a racing thread): attach
+                # the half-solve in the same critical section as the
+                # byte-ledger update.
+                if half is not None and current.half is None:
+                    current.half = half
+                    self._cross_bytes += half.nbytes
+                self._cross.move_to_end(key)
+                entry = current
+            else:
+                entry = _CrossEntry(cross)
+                entry.half = half
                 if entry.nbytes <= self.cross_cache_bytes:
                     self._cross[key] = entry
                     self._cross_bytes += entry.nbytes
-                    while self._cross_bytes > self.cross_cache_bytes:
-                        _, evicted = self._cross.popitem(last=False)
-                        self._cross_bytes -= evicted.nbytes
-        return entry
+            while self._cross_bytes > self.cross_cache_bytes:
+                _, evicted = self._cross.popitem(last=False)
+                self._cross_bytes -= evicted.nbytes
+            return entry
 
     # ------------------------------------------------------------------
     # prediction
     # ------------------------------------------------------------------
     def _check_test(self, x_test: np.ndarray) -> np.ndarray:
+        require_finite("x_test", x_test)
         x_test = as_locations(x_test, dim=self.kernel.ndim_locations)
         if x_test.shape[1] != self.x_train.shape[1]:
             raise ShapeError("train and test locations have different dimensions")
@@ -239,6 +299,34 @@ class PredictionEngine:
             self._batches += 1
         return mean, variance
 
+    def _serve_batch(
+        self,
+        start: int,
+        x_slice: np.ndarray,
+        return_uncertainty: bool,
+        use_cache: bool,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One batch through the resilience hooks: chaos perturbation
+        (keyed on the batch's start offset — scheduling-independent)
+        and transient-failure retry.  Inert hooks short-circuit to the
+        plain path."""
+        if self._retry is None and self._chaos is None:
+            return self._predict_batch(x_slice, return_uncertainty, use_cache)
+
+        def attempt_fn(attempt: int):
+            if self._chaos is not None:
+                self._chaos.perturb_batch(start, attempt)
+            return self._predict_batch(x_slice, return_uncertainty, use_cache)
+
+        if self._retry is None:
+            return attempt_fn(1)
+
+        def note_retry(attempt: int, exc: BaseException) -> None:
+            with self._lock:
+                self._batch_retries += 1
+
+        return self._retry.call(attempt_fn, site=start, on_retry=note_retry)
+
     def predict(
         self,
         x_test: np.ndarray,
@@ -246,36 +334,65 @@ class PredictionEngine:
         return_uncertainty: bool = False,
         batch: int | None = None,
         workers: int | None = None,
+        deadline_s: float | None = None,
     ) -> PredictionResult:
         """Batched kriging prediction (Eq. 4) and optional uncertainty
         (Eq. 5) at ``x_test``.
 
         Batches are independent multi-RHS solves, so ``workers > 1``
         computes them on a thread pool with bit-identical results.
+
+        ``deadline_s`` bounds the call's wall clock: the first batch
+        dispatched past the budget raises
+        :class:`~repro.exceptions.DeadlineExceededError` after the pool
+        drains (cooperative — an in-flight batch finishes first).  Any
+        batch failure cancels the remaining batches the same way and
+        re-raises the first error; partial results are discarded.
         """
         x_test = self._check_test(x_test)
         width = self.batch if batch is None else max(1, int(batch))
         nworkers = self.workers if workers is None else max(1, int(workers))
+        deadline = Deadline.after(deadline_s)
+        cancel = CancellationToken()
         m = len(x_test)
         mean = np.empty(m, dtype=np.float64)
         variance = np.empty(m, dtype=np.float64) if return_uncertainty else None
         spans = [(s, min(s + width, m)) for s in range(0, m, width)]
 
         def run(span: tuple[int, int]) -> None:
+            cancel.check("predict batch")
+            if deadline is not None:
+                deadline.check("predict batch")
             start, stop = span
-            mb, vb = self._predict_batch(
-                x_test[start:stop], return_uncertainty, use_cache=True
+            mb, vb = self._serve_batch(
+                start, x_test[start:stop], return_uncertainty, use_cache=True
             )
             mean[start:stop] = mb
             if variance is not None:
                 variance[start:stop] = vb
 
-        if nworkers > 1 and len(spans) > 1:
-            with ThreadPoolExecutor(max_workers=nworkers) as pool:
-                list(pool.map(run, spans))
-        else:
-            for span in spans:
-                run(span)
+        try:
+            if nworkers > 1 and len(spans) > 1:
+                with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                    futures = [pool.submit(run, span) for span in spans]
+                    try:
+                        for fut in as_completed(futures):
+                            fut.result()  # first error propagates
+                    except BaseException as exc:
+                        # Poison the queue: queued batches see the token
+                        # and return immediately; the context manager
+                        # joins every worker before re-raising.
+                        cancel.cancel(f"predict failed: {exc!r}")
+                        raise
+            else:
+                for span in spans:
+                    run(span)
+        except Exception:
+            with self._lock:
+                self._failed_calls += 1
+            self._breaker.record_failure()
+            raise
+        self._breaker.record_success()
         with self._lock:
             self._predict_calls += 1
             self._predictions += m
@@ -298,8 +415,8 @@ class PredictionEngine:
         m = len(x_test)
         for start in range(0, m, width):
             stop = min(start + width, m)
-            mb, vb = self._predict_batch(
-                x_test[start:stop], return_uncertainty, use_cache=False
+            mb, vb = self._serve_batch(
+                start, x_test[start:stop], return_uncertainty, use_cache=False
             )
             with self._lock:
                 self._predict_calls += 1
@@ -309,6 +426,7 @@ class PredictionEngine:
     def score(self, x_test: np.ndarray, z_test: np.ndarray) -> float:
         """Mean squared prediction error on held-out data (the paper's
         MSPE column)."""
+        require_finite("z_test", z_test)
         pred = self.predict(x_test)
         z_test = np.asarray(z_test, dtype=np.float64).ravel()
         if z_test.shape != pred.mean.shape:
@@ -347,7 +465,27 @@ class PredictionEngine:
                 cross_misses=self._cross_misses,
                 cross_cache_bytes=self._cross_bytes,
                 clamped_variances=self._clamped,
+                failed_calls=self._failed_calls,
+                batch_retries=self._batch_retries,
             )
+
+    def health(self) -> HealthReport:
+        """Serving error budget: failed predict calls, the current
+        failure streak, transient batch retries absorbed, and the
+        circuit breaker's state (tripping clears the cross LRU — see
+        :meth:`clear_cross_cache`)."""
+        with self._lock:
+            calls = self._predict_calls + self._failed_calls
+            failures = self._failed_calls
+            retries = self._batch_retries
+        return HealthReport(
+            calls=calls,
+            failures=failures,
+            consecutive_failures=self._breaker.consecutive_failures,
+            retries=retries,
+            breaker_trips=self._breaker.trips,
+            breaker_open=self._breaker.open,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -10,13 +10,20 @@ Hierarchy::
     ├── ParameterError(ValueError)        bad covariance/model parameters
     ├── ShapeError(ValueError)            incompatible array shapes
     ├── NotPositiveDefiniteError(ArithmeticError)
-    │   └── RecoveryExhaustedError        the numerical recovery ladder
-    │                                     (tile/recovery.py) ran out of
-    │                                     escalation steps
+    │   ├── RecoveryExhaustedError        the numerical recovery ladder
+    │   │                                 (tile/recovery.py) ran out of
+    │   │                                 escalation steps
+    │   └── NumericalCorruptionError      a tile kernel produced NaN/inf
+    │                                     (FP16 overflow, injected chaos)
     ├── CompressionError(ArithmeticError) low-rank tolerance unreachable
     ├── SchedulingError(RuntimeError)     inconsistent task DAG/schedule
     ├── TaskFailedError(RuntimeError)     a simulated task exceeded its
     │                                     transient-failure retry budget
+    ├── DeadlineExceededError(TimeoutError)
+    │                                     a deadline/cancellation token
+    │                                     expired mid-execution
+    ├── ChaosError(RuntimeError)          an injected (opt-in, seeded)
+    │                                     chaos failure fired
     ├── OptimizationError(RuntimeError)   optimizer hard failure
     └── ConfigurationError(ValueError)    inconsistent variant/runtime config
         └── PlanValidationError           static analysis found
@@ -90,6 +97,21 @@ class RecoveryExhaustedError(NotPositiveDefiniteError):
         self.report = report
 
 
+class NumericalCorruptionError(NotPositiveDefiniteError):
+    """A tile kernel produced non-finite values (NaN/inf) — an FP16
+    overflow mid-factorization, a diverged low-rank update, or an
+    injected chaos corruption.
+
+    Deliberately *is a* :class:`NotPositiveDefiniteError`: a corrupted
+    factorization is a numerical breakdown, so optimizer drivers treat
+    it as a rejected step and the recovery/degradation ladders escalate
+    it exactly like an indefinite covariance.  The resilience layer's
+    :class:`~repro.resilience.retry.RetryPolicy` classifies it as
+    transient (a retried task may round differently or dodge the
+    injected fault) before that escalation is paid for.
+    """
+
+
 class CompressionError(ReproError, ArithmeticError):
     """Low-rank compression could not reach the requested tolerance
     within the allowed maximum rank."""
@@ -115,6 +137,50 @@ class TaskFailedError(ReproError, RuntimeError):
         super().__init__(message)
         self.uid = uid
         self.attempts = attempts
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A :class:`~repro.resilience.deadline.Deadline` expired (or its
+    cancellation token was cancelled) before the operation finished.
+
+    Raised *after* the executing worker pool has drained: no worker
+    threads are leaked and no partially-computed results are returned.
+
+    Attributes
+    ----------
+    budget_s:
+        The time budget that expired, in seconds (``None`` for a bare
+        cancellation).
+    where:
+        Short description of the execution site that noticed expiry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_s: float | None = None,
+        where: str = "",
+    ):
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.where = where
+
+
+class ChaosError(ReproError, RuntimeError):
+    """An opt-in, seeded chaos injection
+    (:class:`~repro.resilience.chaos.ChaosConfig`) failed a task or
+    batch on purpose.  Classified as transient by the default
+    :class:`~repro.resilience.retry.RetryPolicy`.
+
+    Attributes
+    ----------
+    site:
+        What was failed (``"task"`` / ``"batch"``) plus its key.
+    """
+
+    def __init__(self, message: str, site: str = ""):
+        super().__init__(message)
+        self.site = site
 
 
 class ConvergenceWarning(UserWarning):

@@ -1,0 +1,125 @@
+"""Retry with exponential backoff and deterministic seeded jitter.
+
+Transient tile failures — an SVD that fails to converge on one
+compression call, a NaN produced by an FP16 cast under chaos, an
+injected worker fault — are much cheaper to retry at the task level
+than to escalate straight into the numerical recovery ladder, which
+rebuilds the whole matrix.  :class:`RetryPolicy` classifies which
+exceptions are transient, bounds the attempts, and spaces them with
+exponential backoff whose jitter is *seeded per (site, attempt)*:
+two runs of the same seeded configuration retry at identical instants
+relative to each other, keeping chaos experiments bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_SEED
+from ..exceptions import (
+    ChaosError,
+    CompressionError,
+    ConfigurationError,
+    NumericalCorruptionError,
+)
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRYABLE"]
+
+#: Exception types the default policy treats as transient.  A plain
+#: :class:`~repro.exceptions.NotPositiveDefiniteError` is deliberately
+#: *not* here: an indefinite covariance is deterministic and retrying
+#: the identical computation cannot fix it — that is the recovery
+#: ladder's job.  (:class:`NumericalCorruptionError` subclasses it but
+#: is listed explicitly: corruption can be attempt-dependent.)
+DEFAULT_RETRYABLE: tuple[type, ...] = (
+    NumericalCorruptionError,
+    ChaosError,
+    CompressionError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried.
+
+    ``max_attempts`` counts the first try: 3 means "try, then retry
+    twice".  Attempt ``k`` (1-based) sleeps
+    ``min(base_delay_s * backoff**(k-1), max_delay_s)`` scaled by a
+    jitter factor in ``[1, 1 + jitter]`` drawn from a generator seeded
+    on ``(seed, site, attempt)`` — deterministic regardless of thread
+    scheduling.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 1.0e-3
+    backoff: float = 2.0
+    max_delay_s: float = 0.05
+    jitter: float = 0.5
+    seed: int = DEFAULT_SEED
+    retryable: tuple[type, ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ConfigurationError("backoff must be >= 1")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is a transient failure worth retrying.
+
+        A :class:`~repro.exceptions.NumericalCorruptionError` matches
+        through :data:`DEFAULT_RETRYABLE` even though its parent
+        ``NotPositiveDefiniteError`` does not — classification is by
+        the listed types, most-derived semantics included.
+        """
+        return isinstance(exc, self.retryable)
+
+    def delay_s(self, attempt: int, site: int = 0) -> float:
+        """Backoff delay before attempt ``attempt + 1`` (after the
+        ``attempt``-th failure), with deterministic seeded jitter."""
+        base = min(
+            self.base_delay_s * self.backoff ** max(attempt - 1, 0),
+            self.max_delay_s,
+        )
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng(
+            (self.seed, site & 0x7FFFFFFF, attempt)
+        )
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+    def call(self, fn, *, site: int = 0, on_retry=None):
+        """Run ``fn()`` under this policy.
+
+        Retries transient failures up to ``max_attempts`` total tries,
+        sleeping the jittered backoff in between; ``on_retry(attempt,
+        exc)`` (if given) observes each retry.  Non-retryable
+        exceptions and the final transient failure propagate.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(attempt)
+            except BaseException as exc:
+                if attempt >= self.max_attempts or not self.is_retryable(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.delay_s(attempt, site)
+                if delay > 0.0:
+                    time.sleep(delay)
+
+
+#: A conservative default: three attempts, millisecond-scale backoff.
+DEFAULT_RETRY = RetryPolicy()
+
+__all__.append("DEFAULT_RETRY")

@@ -11,6 +11,23 @@ Determinism note: tiles are replaced atomically under a lock and the
 dependence structure serializes conflicting accesses, so results are
 bit-identical to the sequential engine for dense FP64 and
 representation-identical for approximate variants.
+
+Resilience (all opt-in, no-op when the knobs are ``None``):
+
+* any worker failure — a kernel exception *or* a dispatch bug —
+  records the first error, poisons the queue through a
+  :class:`~repro.resilience.deadline.CancellationToken`, wakes every
+  waiter, and lets the pool drain; the caller gets one exception and
+  zero leaked threads instead of a deadlock;
+* a ``deadline`` (or external ``cancel`` token) is polled at every
+  dispatch boundary: in-flight kernels finish, nothing new starts,
+  and :class:`~repro.exceptions.DeadlineExceededError` surfaces after
+  the join;
+* a ``retry`` policy re-runs transiently failing tasks (injected
+  chaos, non-finite kernel output) with seeded backoff before the
+  failure escalates;
+* a ``chaos`` injector corrupts/delays/fails tasks deterministically
+  per ``(seed, epoch, uid, attempt)`` — thread-schedule independent.
 """
 
 from __future__ import annotations
@@ -22,11 +39,17 @@ from dataclasses import dataclass, field
 import time
 
 import networkx as nx
+import numpy as np
 
-from ..exceptions import SchedulingError
+from ..exceptions import (
+    DeadlineExceededError,
+    NumericalCorruptionError,
+    SchedulingError,
+)
 from ..tile import kernels as K
 from ..tile.cholesky import CholeskyStats
 from ..tile.matrix import TileMatrix
+from ..tile.tile import LowRankTile, Tile
 from .dag import build_dag
 from .scheduler import panel_priorities
 from .task import Task
@@ -46,6 +69,19 @@ class ParallelRunReport:
     #: Kernel counts / densification tallies of the run, matching what
     #: the sequential :func:`~repro.tile.cholesky.tile_cholesky` reports.
     stats: CholeskyStats = field(default_factory=CholeskyStats)
+    #: Transient task failures absorbed by the retry policy.
+    retries: int = 0
+    #: Chaos injections that fired during this run (0 without chaos).
+    chaos_events: int = 0
+
+
+def _tile_is_finite(tile: Tile) -> bool:
+    """Cheap non-finite scan of a task's output representation."""
+    if isinstance(tile, LowRankTile):
+        return bool(
+            np.isfinite(tile.u).all() and np.isfinite(tile.v).all()
+        )
+    return bool(np.isfinite(tile.data).all())
 
 
 def execute_cholesky_parallel(
@@ -57,11 +93,28 @@ def execute_cholesky_parallel(
     fp16_accumulate_fp32: bool = True,
     tasks: list[Task] | None = None,
     dag: nx.DiGraph | None = None,
+    deadline=None,
+    cancel=None,
+    retry=None,
+    chaos=None,
+    check_finite: bool | None = None,
 ) -> tuple[TileMatrix, ParallelRunReport]:
     """Factor ``matrix`` in place using a thread pool over the task DAG.
 
     Raises :class:`~repro.exceptions.SchedulingError` if any task
-    failed (the first underlying exception is chained).
+    failed (the first underlying exception is chained), or
+    :class:`~repro.exceptions.DeadlineExceededError` directly when the
+    ``deadline`` expired / the ``cancel`` token was cancelled — in
+    both cases only after every worker has returned.
+
+    ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`) retries
+    transiently failing tasks; ``chaos`` (a
+    :class:`~repro.resilience.chaos.ChaosConfig` or
+    :class:`~repro.resilience.chaos.ChaosInjector`) opts into seeded
+    fault injection.  ``check_finite`` scans each task's output for
+    NaN/inf, raising :class:`~repro.exceptions.NumericalCorruptionError`
+    (default: enabled exactly when ``retry`` or ``chaos`` is set, so
+    the plain path pays nothing).
     """
     if workers < 1:
         raise SchedulingError("need at least one worker")
@@ -74,6 +127,18 @@ def execute_cholesky_parallel(
     task_by_uid = {t.uid: t for t in tasks}
     prio = panel_priorities(dag)
 
+    if chaos is not None and not hasattr(chaos, "perturb_task"):
+        from ..resilience.chaos import ChaosInjector
+
+        chaos = ChaosInjector(chaos)
+    epoch = chaos.next_epoch() if chaos is not None else 0
+    if check_finite is None:
+        check_finite = retry is not None or chaos is not None
+    if cancel is None:
+        from ..resilience.deadline import CancellationToken
+
+        cancel = CancellationToken()
+
     lock = threading.Lock()
     indegree = {uid: dag.in_degree(uid) for uid in dag.nodes}
     ready: list[tuple[float, int]] = [
@@ -85,10 +150,17 @@ def execute_cholesky_parallel(
     errors: list[BaseException] = []
     running = 0
     max_running = 0
+    retries = 0
+    chaos_before = chaos.stats.events if chaos is not None else 0
 
     stats = CholeskyStats()
 
-    def run_task(task: Task) -> None:
+    def compute_task(task: Task, attempt: int) -> Tile:
+        """One attempt at ``task``: chaos perturbation, the kernel,
+        chaos corruption, and the finite check — but no state update,
+        so a failed attempt is retryable."""
+        if chaos is not None:
+            chaos.perturb_task(epoch, task.uid, attempt)
         if task.op == "potrf":
             out = K.potrf(matrix.get(*task.output), index=task.output)
         elif task.op == "trsm":
@@ -105,13 +177,40 @@ def execute_cholesky_parallel(
             )
         else:
             amk, ank = task.inputs
-            was_lr = matrix.get(*task.output).is_low_rank
             out = K.gemm(
                 matrix.get(*amk), matrix.get(*ank),
                 matrix.get(*task.output),
                 tol=tile_tol, max_rank=max_rank,
                 fp16_accumulate_fp32=fp16_accumulate_fp32,
             )
+        if chaos is not None:
+            out = chaos.corrupt_tile(out, epoch, task.uid, attempt)
+        if check_finite and not _tile_is_finite(out):
+            raise NumericalCorruptionError(
+                f"task {task.op}@{task.output} produced non-finite "
+                f"values (attempt {attempt})",
+                tile_index=task.output,
+            )
+        return out
+
+    def run_task(task: Task) -> None:
+        nonlocal retries
+        if retry is None:
+            out = compute_task(task, 1)
+        else:
+
+            def note_retry(attempt: int, exc: BaseException) -> None:
+                nonlocal retries
+                with lock:
+                    retries += 1
+                    stats.retries += 1
+
+            out = retry.call(
+                lambda attempt: compute_task(task, attempt),
+                site=task.uid, on_retry=note_retry,
+            )
+        if task.op == "gemm":
+            was_lr = matrix.get(*task.output).is_low_rank
             with lock:
                 if was_lr and not out.is_low_rank:
                     stats.densified_tiles += 1
@@ -123,32 +222,57 @@ def execute_cholesky_parallel(
 
     def worker_loop() -> None:
         nonlocal remaining, running, max_running
-        while True:
-            with done:
-                while not ready and remaining > 0 and not errors:
-                    done.wait()
-                if remaining == 0 or errors:
-                    done.notify_all()
-                    return
-                _, uid = heapq.heappop(ready)
-                running += 1
-                max_running = max(max_running, running)
-            task = task_by_uid[uid]
-            try:
-                run_task(task)
-            except BaseException as exc:  # propagate to the caller
+        dispatched = False
+        try:
+            while True:
                 with done:
-                    errors.append(exc)
+                    while (
+                        ready or remaining > 0
+                    ) and not errors and not cancel.cancelled:
+                        if deadline is not None and deadline.expired:
+                            cancel.cancel(
+                                f"deadline of {deadline.budget_s:.3g}s "
+                                "exceeded"
+                            )
+                            break
+                        if ready:
+                            break
+                        if remaining == 0:
+                            break
+                        # Bounded wait so deadline expiry is noticed
+                        # even when no task ever completes.
+                        done.wait(
+                            timeout=None if deadline is None
+                            else max(min(deadline.remaining(), 0.05), 0.001)
+                        )
+                    if remaining == 0 or errors or cancel.cancelled:
+                        done.notify_all()
+                        return
+                    _, uid = heapq.heappop(ready)
+                    running += 1
+                    dispatched = True
+                    max_running = max(max_running, running)
+                task = task_by_uid[uid]
+                run_task(task)
+                with done:
+                    dispatched = False
                     running -= 1
+                    remaining -= 1
+                    for succ in dag.successors(uid):
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            heapq.heappush(ready, (-prio[succ], succ))
                     done.notify_all()
-                return
+        except BaseException as exc:
+            # Poison the queue: record the first error, wake every
+            # waiter, stop all dispatching.  This covers kernel
+            # failures AND dispatch bookkeeping bugs — either way the
+            # pool drains instead of deadlocking on `done.wait()`.
             with done:
-                running -= 1
-                remaining -= 1
-                for succ in dag.successors(uid):
-                    indegree[succ] -= 1
-                    if indegree[succ] == 0:
-                        heapq.heappush(ready, (-prio[succ], succ))
+                errors.append(exc)
+                if dispatched:
+                    running -= 1
+                cancel.cancel(f"worker failed: {exc!r}")
                 done.notify_all()
 
     t0 = time.perf_counter()
@@ -159,9 +283,20 @@ def execute_cholesky_parallel(
     wall = time.perf_counter() - t0
 
     if errors:
+        first = errors[0]
+        if isinstance(first, DeadlineExceededError):
+            raise first
         raise SchedulingError(
-            f"parallel execution failed: {errors[0]!r}"
-        ) from errors[0]
+            f"parallel execution failed: {first!r}"
+        ) from first
+    if cancel.cancelled:
+        # Deadline expiry / external cancellation noticed at a
+        # dispatch boundary: the pool has drained, no task raised.
+        raise DeadlineExceededError(
+            f"execution cancelled after {wall:.3g}s: {cancel.reason}",
+            budget_s=None if deadline is None else deadline.budget_s,
+            where="execute_cholesky_parallel",
+        )
     if remaining != 0:  # pragma: no cover - invariant
         raise SchedulingError(f"{remaining} tasks never executed")
     report = ParallelRunReport(
@@ -170,5 +305,9 @@ def execute_cholesky_parallel(
         wall_time_s=wall,
         max_concurrency=max_running,
         stats=stats,
+        retries=retries,
+        chaos_events=(
+            chaos.stats.events - chaos_before if chaos is not None else 0
+        ),
     )
     return matrix, report

@@ -38,6 +38,9 @@ class CholeskyStats:
     kernel_counts: dict[str, int] = field(default_factory=dict)
     densified_tiles: int = 0
     max_rank_seen: int = 0
+    #: Transient task failures absorbed by the resilience layer's
+    #: retry policy (always 0 on the sequential reference path).
+    retries: int = 0
 
     def count(self, op: str) -> None:
         self.kernel_counts[op] = self.kernel_counts.get(op, 0) + 1

@@ -94,9 +94,16 @@ DEFAULT_RECOVERY = RecoveryPolicy()
 
 @dataclass(frozen=True)
 class RecoveryAction:
-    """One escalation attempt of the ladder."""
+    """One escalation attempt of the ladder.
+
+    The resilience layer (:mod:`repro.resilience`) reuses this record
+    for its own escalations: ``step`` is then ``"retry"`` (transient
+    task retries absorbed during a fit attempt) or ``"downgrade"``
+    (the fit fell to a safer compute variant).
+    """
 
     step: str  # "promote_tile" | "promote_band" | "densify" | "jitter"
+    #   resilience layer adds:  "retry" | "downgrade"
     tile_index: tuple[int, int] | None  # breakdown that triggered it
     detail: str
     succeeded: bool
@@ -104,12 +111,22 @@ class RecoveryAction:
 
 @dataclass
 class RecoveryReport:
-    """What the ladder did for one factorization."""
+    """What the ladder did for one factorization.
+
+    The fit-level degradation ladder extends the same report shape:
+    ``retries`` counts transient task retries the resilience layer
+    absorbed, and ``variant_path`` records the compute variants a fit
+    moved through (length 1 when no downgrade was needed).
+    """
 
     actions: list[RecoveryAction] = field(default_factory=list)
     attempts: int = 1  # factorization attempts, including the first
     recovered: bool = False
     jitter_added: float = 0.0  # absolute diagonal shift of the success
+    #: Transient task retries absorbed (resilience layer; 0 otherwise).
+    retries: int = 0
+    #: Variant names a degraded fit moved through, first to last.
+    variant_path: list[str] = field(default_factory=list)
 
     @property
     def steps(self) -> tuple[str, ...]:

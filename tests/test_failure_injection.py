@@ -67,16 +67,17 @@ class TestIndefiniteMatrices:
 
 class TestBadObservations:
     def test_nan_observations_poison_loglik(self, matern, theta_matern, locations_200):
-        """NaN data must surface as a non-finite likelihood, not a
-        silent number."""
+        """NaN data must be rejected at the API boundary with a clear
+        error naming the offending argument — never a silent number."""
         from repro.core import loglikelihood
 
         z = np.zeros(200)
         z[7] = np.nan
-        res = loglikelihood(
-            matern, theta_matern, locations_200, z, tile_size=40, nugget=1e-8
-        )
-        assert not np.isfinite(res.value)
+        with pytest.raises(ValueError, match="'z'.*flat index 7"):
+            loglikelihood(
+                matern, theta_matern, locations_200, z, tile_size=40,
+                nugget=1e-8,
+            )
 
     def test_wrong_length(self, matern, theta_matern, locations_200):
         from repro.core import loglikelihood
