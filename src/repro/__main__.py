@@ -13,14 +13,18 @@ Commands
 ``scaling [--nodes N] [--matrix M]``
     Fig. 10-style projection for a weak-correlation problem.
 ``analyze [--lint PATH ...] [--golden-plans] [--serving] [--resilience]
-[--json] [--rules]``
+[--concurrency [PATH ...]] [--sanitize-run] [--json] [--rules]``
     Verification layer: run the numerical-hygiene linter over source
     paths, the golden-plan suite (every shipped variant at nt in
     {4, 8} through the plan + DAG verifiers), the serving
     amortization check (one engine build, one Eq.-4 weight solve, no
-    per-batch tile re-casts), and/or the golden resilience invariants
+    per-batch tile re-casts), the golden resilience invariants
     (seeded chaos reproducibility, inert-hook bit-identity,
-    degradation ladder, deadline drain).  Exit code 0 iff no
+    degradation ladder, deadline drain), the static lock-discipline
+    analyzer (``--concurrency``, defaulting to the installed package
+    sources), and/or the dynamic race sanitizer (``--sanitize-run``:
+    a threaded fit + batched predict under seeded chaos with lockset
+    + happens-before instrumentation).  Exit code 0 iff no
     error-severity
     finding is reported; warnings do not fail the run.
 """
@@ -127,7 +131,9 @@ def _cmd_analyze(args) -> int:
     from repro.analysis import (
         DAG_RULES,
         LINT_RULES,
+        LOCK_RULES,
         PLAN_RULES,
+        RACE_RULES,
         RES_RULES,
         SERVE_RULES,
         AnalysisReport,
@@ -135,20 +141,25 @@ def _cmd_analyze(args) -> int:
         check_golden_plans,
         check_golden_resilience,
         check_golden_serving,
+        check_lock_discipline,
         lint_paths,
+        run_sanitized_workload,
     )
 
     if args.rules:
         for catalog in (
             PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES, RES_RULES,
+            LOCK_RULES, RACE_RULES,
         ):
             for rule, text in catalog.items():
                 print(f"  {rule}  {text}")
         return 0
     if not (args.lint or args.golden_plans or args.serving
-            or args.resilience):
+            or args.resilience or args.concurrency is not None
+            or args.sanitize_run):
         print("nothing to analyze: pass --lint PATH ..., "
-              "--golden-plans, --serving, and/or --resilience",
+              "--golden-plans, --serving, --resilience, "
+              "--concurrency, and/or --sanitize-run",
               file=sys.stderr)
         return 2
     report = AnalysisReport()
@@ -160,6 +171,12 @@ def _cmd_analyze(args) -> int:
         report.extend(check_golden_serving())
     if args.resilience:
         report.extend(check_golden_resilience())
+    if args.concurrency is not None:
+        report.extend(
+            check_lock_discipline(args.concurrency or None)
+        )
+    if args.sanitize_run:
+        report.extend(run_sanitized_workload())
     if args.json:
         print(report.to_json(indent=2))
     else:
@@ -195,6 +212,15 @@ def main(argv: list[str] | None = None) -> int:
                      help="run the golden resilience invariants (seeded "
                           "chaos reproducibility, inert-hook identity, "
                           "degradation ladder, deadline drain)")
+    p_a.add_argument("--concurrency", nargs="*", metavar="PATH",
+                     default=None,
+                     help="run the static lock-discipline analyzer "
+                          "over these files/directories (default: the "
+                          "installed repro package sources)")
+    p_a.add_argument("--sanitize-run", action="store_true",
+                     help="drive a threaded fit + batched predict "
+                          "under seeded chaos with the dynamic race "
+                          "sanitizer enabled")
     p_a.add_argument("--json", action="store_true",
                      help="machine-readable JSON output")
     p_a.add_argument("--rules", action="store_true",

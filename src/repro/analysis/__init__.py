@@ -12,7 +12,13 @@ Three analyzers share one diagnostics framework
   dependence DAGs for read-before-write and WAW/RAW races under any
   scheduler;
 * :mod:`repro.analysis.lint` — AST-level numerical-hygiene rules over
-  the repository's own sources.
+  the repository's own sources;
+* :mod:`repro.analysis.lockcheck` — AST-level lock-discipline rules
+  (guarded attributes, lock-order cycles, check-then-act smells,
+  ``threading`` API misuse) over the same sources;
+* :mod:`repro.analysis.sanitize` — opt-in dynamic race detection
+  (Eraser-style locksets + vector-clock happens-before) instrumenting
+  the real threaded engines.
 
 The ``validate_plan`` hooks in :func:`repro.tile.cholesky.tile_cholesky`
 and :func:`repro.runtime.simulator.simulate_tasks` raise
@@ -31,8 +37,22 @@ from .golden import (
     check_golden_serving,
 )
 from .lint import LINT_RULES, lint_file, lint_paths, lint_source
+from .lockcheck import (
+    LOCK_RULES,
+    check_lock_discipline,
+    check_lock_paths,
+    check_lock_source,
+)
 from .plancheck import PLAN_RULES, check_plan, plan_from_matrix
 from .resilience import RES_RULES, check_golden_resilience
+from .sanitize import (
+    RACE_RULES,
+    disable_sanitizer,
+    enable_sanitizer,
+    run_sanitized_workload,
+    sanitized_access,
+    sanitized_lock,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -46,6 +66,14 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "check_lock_source",
+    "check_lock_paths",
+    "check_lock_discipline",
+    "enable_sanitizer",
+    "disable_sanitizer",
+    "sanitized_lock",
+    "sanitized_access",
+    "run_sanitized_workload",
     "check_golden_plan",
     "check_golden_plans",
     "check_golden_serving",
@@ -57,4 +85,6 @@ __all__ = [
     "LINT_RULES",
     "SERVE_RULES",
     "RES_RULES",
+    "LOCK_RULES",
+    "RACE_RULES",
 ]

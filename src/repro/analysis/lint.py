@@ -1,6 +1,6 @@
 """Numerical-hygiene AST linter for the repository's own sources.
 
-Eight custom rules target the failure modes of numerical codes — the
+Nine custom rules target the failure modes of numerical codes — the
 bugs that surface as irreproducible benchmarks or NaNs at step 40 of an
 optimization rather than as exceptions:
 
@@ -25,6 +25,11 @@ LINT006   warning   SciPy linalg call (``cholesky``, ``solve_triangular``,
 LINT007   error     ``eval`` / ``exec``
 LINT008   error     ``is`` / ``is not`` against a literal (identity of
                     ints/strs is an implementation detail)
+LINT009   warning   a class that spawns ``ThreadPoolExecutor``s holds a
+                    lock attribute outside the ``_lock`` naming
+                    convention, so the lock-discipline analyzer
+                    (:mod:`repro.analysis.lockcheck`) and the dynamic
+                    sanitizer cannot recognize its guard role
 ========  ========  =====================================================
 
 A finding on a given line is suppressed by a trailing
@@ -56,6 +61,8 @@ LINT_RULES: dict[str, str] = {
     "LINT006": "linalg call without an explicit check_finite guard",
     "LINT007": "eval/exec",
     "LINT008": "identity comparison against a literal",
+    "LINT009": "thread-spawning class holds a lock outside the _lock "
+               "naming convention",
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
@@ -70,6 +77,11 @@ _LINALG_GUARDED = {
 _GENERIC_SOLVE_BASES = {"scipy", "linalg", "sla", "la"}
 _NARROW_DTYPES = {"float16", "float32", "half", "single"}
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "Condition", "Semaphore",
+                      "BoundedSemaphore"}
+#: The naming convention the concurrency analyzers key on: a private
+#: attribute whose name contains "lock" (``_lock``, ``_tile_lock``, ...).
+_LOCK_NAME_RE = re.compile(r"_\w*lock\w*", re.IGNORECASE)
 
 
 def _suppressions(source: str) -> dict[int, set[str] | None]:
@@ -282,6 +294,41 @@ class _LintVisitor(ast.NodeVisitor):
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # --- LINT009 -------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        spawns_pool = any(
+            isinstance(sub, ast.Call)
+            and _callee_name(sub.func) == "ThreadPoolExecutor"
+            for sub in ast.walk(node)
+        )
+        if spawns_pool:
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                    continue
+                target = sub.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                ctor = _callee_name(sub.value.func) \
+                    if isinstance(sub.value, ast.Call) else ""
+                if (
+                    ctor in _LOCK_CONSTRUCTORS
+                    and not _LOCK_NAME_RE.fullmatch(target.attr)
+                ):
+                    self._report(
+                        "LINT009", Severity.WARNING,
+                        f"{node.name} spawns thread pools but names its "
+                        f"{ctor} attribute {target.attr!r}: the "
+                        "concurrency analyzers key on the '_lock' "
+                        "naming convention, so this guard is invisible "
+                        "to them — rename it (e.g. '_lock')",
+                        sub,
+                    )
         self.generic_visit(node)
 
 

@@ -1,0 +1,733 @@
+"""Static lock-discipline analyzer for the repository's own sources.
+
+The real engines (the threaded DAG executor, the serving engine, the
+shared caches, the circuit breaker) follow one discipline: every class
+that shares mutable state across threads owns a ``threading.Lock``
+attribute, mutates its shared attributes only inside ``with
+self._lock`` blocks, and never holds its lock while calling into
+another lock-owning class in a conflicting order.  These rules verify
+that discipline from the AST, before any thread runs:
+
+========  ========  =====================================================
+rule      severity  pattern
+========  ========  =====================================================
+LOCK001   error     attribute that is mutated under the class lock in
+                    one method is mutated with *no* lock held in another
+LOCK002   error     class spawns a thread pool and mutates shared
+                    attributes but owns no lock at all
+LOCK003   error     cycle in the inter-class lock-acquisition graph
+                    (potential deadlock: two lock orders coexist)
+LOCK004   error     non-reentrant ``threading.Lock`` re-acquired while
+                    already held (lexically nested ``with``, or a call
+                    to a method of the same class that takes the lock)
+LOCK005   warning   check-then-act smell: a guarded attribute is read in
+                    one lock region and mutated in a *later, separate*
+                    lock region of the same function (the invariant
+                    checked does not survive the release in between)
+LOCK006   warning   ``Condition.wait()`` outside a ``while`` predicate
+                    loop (wakeups are spurious and racy by contract)
+LOCK007   warning   raw ``.acquire()`` on a lock without a ``finally:``
+                    that releases it (an exception leaks the lock; use
+                    ``with``)
+LOCK008   error     lock attribute rebound outside ``__init__``
+                    (threads blocked on the old lock never see the new)
+========  ========  =====================================================
+
+A finding on a given line is suppressed by a trailing ``# lockcheck:
+ignore`` comment (all rules) or ``# lockcheck: ignore[LOCK005]``
+(listed rules only) — suppressions should state *why* the pattern is
+safe (e.g. an idempotent two-phase cache fill).
+
+Like every static analysis of a dynamic language this is heuristic:
+lock ownership is recognized through ``self.<attr> =
+threading.Lock()``-style assignments, cross-class edges through
+``self.<attr> = OtherClass(...)`` constructor assignments, and dynamic
+callbacks (``self._on_trip()``) are invisible.  The dynamic side
+(:mod:`repro.analysis.sanitize`) covers what the AST cannot see.
+
+Run over the repository with ``python -m repro analyze --concurrency``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import networkx as nx
+
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+
+__all__ = [
+    "LOCK_RULES",
+    "check_lock_source",
+    "check_lock_paths",
+    "check_lock_discipline",
+]
+
+#: Rule-id -> one-line description (the catalog rendered by the CLI).
+LOCK_RULES: dict[str, str] = {
+    "LOCK001": "lock-guarded attribute mutated outside any lock scope",
+    "LOCK002": "thread-spawning class shares mutable state without a lock",
+    "LOCK003": "lock-order cycle in the acquisition graph (deadlock risk)",
+    "LOCK004": "non-reentrant lock re-acquired while already held",
+    "LOCK005": "check-then-act split across a lock release",
+    "LOCK006": "condition wait without an enclosing predicate loop",
+    "LOCK007": "raw acquire() without a guaranteed release",
+    "LOCK008": "lock attribute rebound outside __init__",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*lockcheck:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Constructors recognized as lock objects, -> reentrant?
+_LOCK_CONSTRUCTORS = {"Lock": False, "RLock": True, "Condition": True}
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "move_to_end", "appendleft",
+    "popleft", "sort", "reverse",
+}
+_INIT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+
+def _attr_path(node: ast.AST) -> tuple[str, ...]:
+    """``self.a.b`` -> ``("self", "a", "b")`` (empty for other shapes)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _constructor_name(value: ast.AST) -> str:
+    """Class name of ``X(...)`` / ``mod.X(...)`` calls, else ``""``."""
+    if isinstance(value, ast.Call):
+        path = _attr_path(value.func)
+        if path:
+            return path[-1]
+    return ""
+
+
+@dataclass
+class _Access:
+    """One attribute access inside a method."""
+
+    attr: str  # dotted path without the leading receiver
+    write: bool
+    held: frozenset[str]  # own-lock attrs lexically held
+    region: int  # which `with <lock>` region (0 = none)
+    line: int
+
+
+@dataclass
+class _MethodInfo:
+    name: str
+    line: int
+    accesses: list[_Access] = field(default_factory=list)
+    #: Own-lock attrs this method acquires anywhere in its body.
+    acquires: set[str] = field(default_factory=set)
+    #: ``self.<meth>()`` calls made while holding own locks.
+    self_calls: list[tuple[str, frozenset[str], int]] = field(
+        default_factory=list
+    )
+    #: ``self.<obj>.<meth>()`` calls made while holding locks:
+    #: (obj attr, callee method, held own locks, line).
+    foreign_calls: list[tuple[str, str, frozenset[str], int]] = field(
+        default_factory=list
+    )
+    #: Own lock acquired while holding another: (held, acquired, line).
+    lock_edges: list[tuple[str, str, int]] = field(default_factory=list)
+    spawns_pool: bool = False
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    filename: str
+    line: int
+    #: lock attr -> reentrant?
+    locks: dict[str, bool] = field(default_factory=dict)
+    #: attr -> class name assigned in __init__ (``self.x = Other()``).
+    attr_classes: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, _MethodInfo] = field(default_factory=dict)
+
+    @property
+    def guarded(self) -> set[str]:
+        """Attributes mutated under an own lock outside ``__init__``."""
+        out: set[str] = set()
+        for m in self.methods.values():
+            if m.name in _INIT_METHODS:
+                continue
+            for a in m.accesses:
+                if a.write and a.held:
+                    out.add(a.attr)
+        return out
+
+
+class _MethodWalker:
+    """Recursive walk of one method body tracking held locks, lock
+    regions, ``while`` nesting, and ``try/finally`` release scopes."""
+
+    def __init__(
+        self,
+        cls: _ClassInfo,
+        info: _MethodInfo,
+        findings: list[Diagnostic],
+        filename: str,
+        self_name: str,
+    ):
+        self.cls = cls
+        self.info = info
+        self.findings = findings
+        self.filename = filename
+        self.self_name = self_name
+        self.held: tuple[str, ...] = ()
+        self.region = 0
+        self.next_region = 1
+        self.while_depth = 0
+        #: Receiver paths released in an enclosing ``finally:``.
+        self.finally_released: list[set[tuple[str, ...]]] = []
+        #: Local names bound to Condition(...) instances.
+        self.local_conditions: set[str] = set()
+        #: Local names bound to Lock()/RLock() instances.
+        self.local_locks: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _report(self, rule: str, severity: Severity, msg: str, line: int):
+        self.findings.append(Diagnostic(
+            rule, severity, msg, file=self.filename, line=line,
+        ))
+
+    def _own_lock_of(self, node: ast.AST) -> str | None:
+        """Lock attr name when ``node`` is ``self.<lock>``."""
+        path = _attr_path(node)
+        if (
+            len(path) == 2
+            and path[0] == self.self_name
+            and path[1] in self.cls.locks
+        ):
+            return path[1]
+        return None
+
+    def _record_access(self, path: tuple[str, ...], write: bool, line: int):
+        if len(path) < 2 or path[0] != self.self_name:
+            return
+        attr = ".".join(path[1:])
+        if path[1] in self.cls.locks:
+            return  # the lock itself; LOCK008 handles rebinding
+        self.info.accesses.append(_Access(
+            attr=attr, write=write,
+            held=frozenset(self.held), region=self.region, line=line,
+        ))
+
+    def _record_reads(self, node: ast.AST):
+        """Record every ``self.x...`` load inside an expression."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                path = _attr_path(sub)
+                if len(path) >= 2 and path[0] == self.self_name:
+                    self._record_access(
+                        path, False, getattr(sub, "lineno", 0)
+                    )
+
+    # ------------------------------------------------------------------
+    def walk(self, node: ast.AST) -> None:
+        method = getattr(self, f"_walk_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        else:
+            for child in ast.iter_child_nodes(node):
+                self.walk(child)
+
+    def walk_body(self, body: list[ast.stmt]) -> None:
+        # The canonical raw-lock idiom puts ``acquire()`` just *before*
+        # the ``try`` whose ``finally:`` releases it, so sibling
+        # try/finally releases must excuse acquires at this level too.
+        released: set[tuple[str, ...]] = set()
+        for stmt in body:
+            if isinstance(stmt, ast.Try):
+                for final_stmt in stmt.finalbody:
+                    for sub in ast.walk(final_stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "release"
+                        ):
+                            released.add(_attr_path(sub.func.value))
+        self.finally_released.append(released)
+        for stmt in body:
+            self.walk(stmt)
+        self.finally_released.pop()
+
+    # ------------------------------------------------------------------
+    def _walk_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            lock = self._own_lock_of(item.context_expr)
+            if lock is not None:
+                self.info.acquires.add(lock)
+                if lock in self.held and not self.cls.locks[lock]:
+                    self._report(
+                        "LOCK004", Severity.ERROR,
+                        f"{self.cls.name}.{self.info.name} re-enters "
+                        f"non-reentrant lock self.{lock} it already "
+                        "holds: this deadlocks at runtime",
+                        node.lineno,
+                    )
+                for outer in self.held:
+                    if outer != lock:
+                        self.info.lock_edges.append(
+                            (outer, lock, node.lineno)
+                        )
+                acquired.append(lock)
+            else:
+                self.walk(item.context_expr)
+        if acquired:
+            saved_held, saved_region = self.held, self.region
+            self.held = self.held + tuple(acquired)
+            self.region = self.next_region
+            self.next_region += 1
+            self.walk_body(node.body)
+            self.held, self.region = saved_held, saved_region
+        else:
+            self.walk_body(node.body)
+
+    def _walk_While(self, node: ast.While) -> None:
+        self._record_reads(node.test)
+        self.while_depth += 1
+        self.walk_body(node.body)
+        self.walk_body(node.orelse)
+        self.while_depth -= 1
+
+    def _walk_Try(self, node: ast.Try) -> None:
+        released: set[tuple[str, ...]] = set()
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                ):
+                    released.add(_attr_path(sub.func.value))
+        self.finally_released.append(released)
+        self.walk_body(node.body)
+        for handler in node.handlers:
+            self.walk(handler)
+        self.walk_body(node.orelse)
+        self.finally_released.pop()
+        self.walk_body(node.finalbody)
+
+    def _walk_Assign(self, node: ast.Assign) -> None:
+        ctor = _constructor_name(node.value)
+        for target in node.targets:
+            path = _attr_path(target)
+            if isinstance(target, ast.Name):
+                if ctor == "Condition":
+                    self.local_conditions.add(target.id)
+                elif ctor in _LOCK_CONSTRUCTORS:
+                    self.local_locks.add(target.id)
+            if (
+                len(path) == 2
+                and path[0] == self.self_name
+                and ctor in _LOCK_CONSTRUCTORS
+                and self.info.name not in _INIT_METHODS
+            ):
+                self._report(
+                    "LOCK008", Severity.ERROR,
+                    f"{self.cls.name}.{self.info.name} rebinds lock "
+                    f"self.{path[1]} outside __init__: threads blocked "
+                    "on the old lock will never observe the new one",
+                    node.lineno,
+                )
+            if path and path[0] == self.self_name:
+                self._record_access(path, True, node.lineno)
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = _attr_path(
+                    target.value if isinstance(target, ast.Subscript)
+                    else target
+                )
+                if base and base[0] == self.self_name:
+                    self._record_access(base, True, node.lineno)
+        self._record_reads(node.value)
+
+    def _walk_AugAssign(self, node: ast.AugAssign) -> None:
+        path = _attr_path(node.target)
+        if not path and isinstance(node.target, ast.Subscript):
+            path = _attr_path(node.target.value)
+        if path and path[0] == self.self_name:
+            self._record_access(path, True, node.lineno)
+        self._record_reads(node.value)
+
+    def _walk_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv_path = _attr_path(func.value)
+            # Mutating method on a self attribute: a write access.
+            if (
+                func.attr in _MUTATORS
+                and recv_path
+                and recv_path[0] == self.self_name
+            ):
+                self._record_access(recv_path, True, node.lineno)
+            # Condition.wait without a predicate loop (wait_for loops
+            # internally, so only bare wait is suspect).
+            if func.attr == "wait" and self.while_depth == 0:
+                is_condition = (
+                    len(recv_path) == 2
+                    and recv_path[0] == self.self_name
+                    and self.cls.locks.get(recv_path[1]) is True
+                ) or (
+                    len(recv_path) == 1
+                    and recv_path[0] in self.local_conditions
+                )
+                if is_condition:
+                    self._report(
+                        "LOCK006", Severity.WARNING,
+                        "Condition.wait() outside a while predicate "
+                        "loop: wakeups are spurious by contract — "
+                        "re-check the predicate in a loop",
+                        node.lineno,
+                    )
+            # Raw acquire without a finally-release.
+            if func.attr == "acquire":
+                is_lock = self._own_lock_of(func.value) is not None or (
+                    len(recv_path) == 1 and recv_path[0] in self.local_locks
+                )
+                if is_lock:
+                    covered = any(
+                        recv_path in released
+                        for released in self.finally_released
+                    )
+                    if not covered:
+                        self._report(
+                            "LOCK007", Severity.WARNING,
+                            f"raw {'.'.join(recv_path)}.acquire() "
+                            "without a finally: release — an exception "
+                            "leaks the lock; prefer a with block",
+                            node.lineno,
+                        )
+            # Call graph edges.
+            if len(recv_path) == 1 and recv_path[0] == self.self_name:
+                self.info.self_calls.append(
+                    (func.attr, frozenset(self.held), node.lineno)
+                )
+            elif (
+                len(recv_path) == 2
+                and recv_path[0] == self.self_name
+                and recv_path[1] in self.cls.attr_classes
+            ):
+                self.info.foreign_calls.append((
+                    recv_path[1], func.attr,
+                    frozenset(self.held), node.lineno,
+                ))
+        name = _attr_path(func)
+        if name and name[-1] == "ThreadPoolExecutor":
+            self.info.spawns_pool = True
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+
+    def _walk_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            path = _attr_path(node)
+            if len(path) >= 2 and path[0] == self.self_name:
+                self._record_access(path, False, node.lineno)
+                return
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+
+    # Nested defs: walked with the same tracker — a closure mutating
+    # self from a worker thread is exactly what we must see — but the
+    # held-lock context does not flow into a deferred body.
+    def _walk_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved_held, saved_region = self.held, self.region
+        saved_while = self.while_depth
+        self.held, self.region, self.while_depth = (), 0, 0
+        self.walk_body(node.body)
+        self.held, self.region = saved_held, saved_region
+        self.while_depth = saved_while
+
+    def _walk_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_FunctionDef(node)  # type: ignore[arg-type]
+
+
+def _collect_class(
+    node: ast.ClassDef, filename: str, findings: list[Diagnostic]
+) -> _ClassInfo:
+    cls = _ClassInfo(name=node.name, filename=filename, line=node.lineno)
+    # Pass A: lock attributes and attr -> class bindings (from any
+    # method, so late-built locks are still recognized as locks).
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        self_name = item.args.args[0].arg if item.args.args else "self"
+        for sub in ast.walk(item):
+            if not isinstance(sub, ast.Assign):
+                continue
+            ctor = _constructor_name(sub.value)
+            if not ctor:
+                continue
+            for target in sub.targets:
+                path = _attr_path(target)
+                if len(path) == 2 and path[0] == self_name:
+                    if ctor in _LOCK_CONSTRUCTORS:
+                        cls.locks[path[1]] = _LOCK_CONSTRUCTORS[ctor]
+                    elif item.name in _INIT_METHODS:
+                        cls.attr_classes[path[1]] = ctor
+    # Pass B: walk every method with the lock context tracker.
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        self_name = item.args.args[0].arg if item.args.args else "self"
+        info = _MethodInfo(name=item.name, line=item.lineno)
+        walker = _MethodWalker(cls, info, findings, filename, self_name)
+        walker.walk_body(item.body)
+        cls.methods[item.name] = info
+    return cls
+
+
+def _check_class_rules(
+    cls: _ClassInfo, findings: list[Diagnostic]
+) -> None:
+    guarded = cls.guarded
+    spawns = any(m.spawns_pool for m in cls.methods.values())
+
+    # LOCK002: thread-spawning class with shared mutation and no lock.
+    if spawns and not cls.locks:
+        mutating = [
+            (m, a)
+            for m in cls.methods.values()
+            if m.name not in _INIT_METHODS
+            for a in m.accesses if a.write
+        ]
+        if mutating:
+            m, a = mutating[0]
+            findings.append(Diagnostic(
+                "LOCK002", Severity.ERROR,
+                f"{cls.name} spawns a ThreadPoolExecutor and mutates "
+                f"self.{a.attr} (in {m.name}) but owns no lock: shared "
+                "state needs a threading.Lock attribute",
+                file=cls.filename, line=a.line,
+            ))
+
+    for m in cls.methods.values():
+        if m.name in _INIT_METHODS:
+            continue
+        # LOCK001: guarded attribute mutated with no lock held.
+        for a in m.accesses:
+            if a.write and not a.held and a.attr in guarded:
+                findings.append(Diagnostic(
+                    "LOCK001", Severity.ERROR,
+                    f"{cls.name}.{m.name} mutates self.{a.attr} with "
+                    "no lock held, but the same attribute is guarded "
+                    "by the class lock elsewhere: torn updates race "
+                    "with the locked writers",
+                    file=cls.filename, line=a.line,
+                ))
+        # LOCK004 (interprocedural, one level): calling a sibling
+        # method that takes the held non-reentrant lock.
+        for callee, held, line in m.self_calls:
+            target = cls.methods.get(callee)
+            if target is None:
+                continue
+            for lock in target.acquires:
+                if lock in held and not cls.locks.get(lock, True):
+                    findings.append(Diagnostic(
+                        "LOCK004", Severity.ERROR,
+                        f"{cls.name}.{m.name} holds self.{lock} and "
+                        f"calls self.{callee}() which re-acquires it: "
+                        "this deadlocks at runtime",
+                        file=cls.filename, line=line,
+                    ))
+        # LOCK005: read of a guarded attr in one lock region, write in
+        # a later, different region of the same method.
+        reads: dict[str, list[_Access]] = {}
+        for a in m.accesses:
+            if not a.write and a.region and a.attr in guarded:
+                reads.setdefault(a.attr, []).append(a)
+        reported: set[str] = set()
+        for a in m.accesses:
+            if not (a.write and a.region and a.attr in guarded):
+                continue
+            if a.attr in reported:
+                continue
+            for r in reads.get(a.attr, ()):
+                if r.region != a.region and r.line < a.line:
+                    findings.append(Diagnostic(
+                        "LOCK005", Severity.WARNING,
+                        f"{cls.name}.{m.name} checks self.{a.attr} in "
+                        f"one lock region (line {r.line}) and mutates "
+                        "it in another: the checked condition can "
+                        "change while the lock is released in between",
+                        file=cls.filename, line=a.line,
+                    ))
+                    reported.add(a.attr)
+                    break
+
+
+def _check_lock_graph(
+    classes: dict[str, _ClassInfo], findings: list[Diagnostic]
+) -> None:
+    """LOCK003: cycles in the inter-class lock-acquisition graph.
+
+    Nodes are qualified locks (``Class.attr``); an edge A -> B means
+    some method acquires B while holding A — directly (nested ``with``)
+    or through a one-level ``self.<obj>.<meth>()`` call into another
+    lock-owning class.
+    """
+    graph = nx.DiGraph()
+    sites: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def add_edge(src: str, dst: str, filename: str, line: int) -> None:
+        if src == dst:
+            return  # same-lock re-entry is LOCK004's business
+        graph.add_edge(src, dst)
+        sites.setdefault((src, dst), (filename, line))
+
+    for cls in classes.values():
+        for m in cls.methods.values():
+            # Nested own locks: with self.a: with self.b: -> a -> b.
+            for src_attr, dst_attr, line in m.lock_edges:
+                add_edge(
+                    f"{cls.name}.{src_attr}", f"{cls.name}.{dst_attr}",
+                    cls.filename, line,
+                )
+            for obj, callee, held, line in m.foreign_calls:
+                if not held:
+                    continue
+                other = classes.get(cls.attr_classes.get(obj, ""))
+                if other is None:
+                    continue
+                target = other.methods.get(callee)
+                if target is None:
+                    continue
+                for dst_lock in sorted(target.acquires):
+                    for src_lock in sorted(held):
+                        add_edge(
+                            f"{cls.name}.{src_lock}",
+                            f"{other.name}.{dst_lock}",
+                            cls.filename, line,
+                        )
+    for cycle in sorted(nx.simple_cycles(graph)):
+        first = (cycle[0], cycle[1 % len(cycle)])
+        filename, line = sites.get(first, ("", 0))
+        findings.append(Diagnostic(
+            "LOCK003", Severity.ERROR,
+            "lock-order cycle: " + " -> ".join(cycle + [cycle[0]]) +
+            " — two threads taking these locks in opposite order "
+            "deadlock; impose one global acquisition order",
+            file=filename or None, line=line or None,
+        ))
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Per-line suppression map: ``None`` means all rules ignored."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = match.group(1)
+            if rules is None:
+                out[lineno] = None
+            else:
+                out[lineno] = {
+                    r.strip() for r in rules.split(",") if r.strip()
+                }
+    return out
+
+
+def _parse_file(
+    source: str, filename: str, report: AnalysisReport
+) -> tuple[dict[str, _ClassInfo], list[Diagnostic]]:
+    """Collect classes + per-method findings for one source file;
+    suppressions are applied here so multi-file callers compose."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError:
+        return {}, []  # the lint layer reports parse failures (LINT000)
+    findings: list[Diagnostic] = []
+    classes: dict[str, _ClassInfo] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            cls = _collect_class(node, filename, findings)
+            classes[cls.name] = cls
+            _check_class_rules(cls, findings)
+    suppressed = _suppressions(source)
+    kept: list[Diagnostic] = []
+    for finding in findings:
+        rules = suppressed.get(finding.line, ...)
+        if rules is None or (rules is not ... and finding.rule in rules):
+            continue
+        kept.append(finding)
+    return classes, kept
+
+
+def check_lock_source(
+    source: str, filename: str = "<string>"
+) -> AnalysisReport:
+    """Analyze one source string (class rules + its local lock graph)."""
+    report = AnalysisReport()
+    classes, findings = _parse_file(source, filename, report)
+    report.extend(findings)
+    graph_findings: list[Diagnostic] = []
+    _check_lock_graph(classes, graph_findings)
+    suppressed = _suppressions(source)
+    for finding in graph_findings:
+        rules = suppressed.get(finding.line, ...)
+        if rules is None or (rules is not ... and finding.rule in rules):
+            continue
+        report.add(finding)
+    return report
+
+
+def _iter_python_files(paths: list[str | Path]):
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in f.parts
+                ):
+                    continue
+                yield f
+        elif p.suffix == ".py":
+            yield p
+
+
+def check_lock_paths(paths: list[str | Path]) -> AnalysisReport:
+    """Analyze every ``*.py`` file under the given files/directories.
+
+    Class rules run per file; the lock-acquisition graph is built over
+    *all* files together, so an A->B edge in one module and a B->A edge
+    in another still close a LOCK003 cycle.
+    """
+    report = AnalysisReport()
+    all_classes: dict[str, _ClassInfo] = {}
+    for f in _iter_python_files(paths):
+        source = f.read_text(encoding="utf-8")
+        classes, findings = _parse_file(source, str(f), report)
+        report.extend(findings)
+        all_classes.update(classes)
+    graph_findings: list[Diagnostic] = []
+    _check_lock_graph(all_classes, graph_findings)
+    report.extend(graph_findings)
+    return report
+
+
+def check_lock_discipline(
+    paths: list[str | Path] | None = None,
+) -> AnalysisReport:
+    """Analyze the repository's own package (the CLI entry point).
+
+    ``paths`` overrides the default target — the installed ``repro``
+    package directory — which is what CI verifies.
+    """
+    if not paths:
+        paths = [Path(__file__).resolve().parent.parent]
+    return check_lock_paths(paths)

@@ -257,7 +257,10 @@ class PredictionEngine:
                 if half is not None and current.half is None:
                     current.half = half
                     self._cross_bytes += half.nbytes
-                self._cross.move_to_end(key)
+                # Deliberate two-phase fill (documented above): the
+                # re-lookup under the lock re-validates the key, so the
+                # racing loser's work is discarded, never double-counted.
+                self._cross.move_to_end(key)  # lockcheck: ignore[LOCK005]
                 entry = current
             else:
                 entry = _CrossEntry(cross)
@@ -478,13 +481,14 @@ class PredictionEngine:
             calls = self._predict_calls + self._failed_calls
             failures = self._failed_calls
             retries = self._batch_retries
+        consecutive, trips, is_open = self._breaker.snapshot()
         return HealthReport(
             calls=calls,
             failures=failures,
-            consecutive_failures=self._breaker.consecutive_failures,
+            consecutive_failures=consecutive,
             retries=retries,
-            breaker_trips=self._breaker.trips,
-            breaker_open=self._breaker.open,
+            breaker_trips=trips,
+            breaker_open=is_open,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -24,6 +24,9 @@ Hierarchy::
     │                                     expired mid-execution
     ├── ChaosError(RuntimeError)          an injected (opt-in, seeded)
     │                                     chaos failure fired
+    ├── DeadlockDetectedError(RuntimeError)
+    │                                     the concurrency sanitizer saw
+    │                                     an operation that would hang
     ├── OptimizationError(RuntimeError)   optimizer hard failure
     └── ConfigurationError(ValueError)    inconsistent variant/runtime config
         └── PlanValidationError           static analysis found
@@ -215,3 +218,10 @@ class PlanValidationError(ConfigurationError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class DeadlockDetectedError(ReproError, RuntimeError):
+    """The concurrency sanitizer (:mod:`repro.analysis.sanitize`)
+    detected an operation that would deadlock — e.g. a thread
+    re-acquiring a non-reentrant sanitized lock it already holds —
+    and raised instead of hanging the run."""

@@ -90,6 +90,17 @@ class CircuitBreaker:
         return tripped
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[int, int, bool]:
+        """Atomic ``(consecutive_failures, trips, open)`` read.
+
+        The three properties below each take the lock separately, so a
+        caller composing them (e.g. an engine's ``health()``) could see
+        a torn state — a streak at the threshold with the trip not yet
+        counted.  One locked read keeps the report consistent.
+        """
+        with self._lock:
+            return self._consecutive, self._trips, self._open
+
     @property
     def consecutive_failures(self) -> int:
         with self._lock:

@@ -57,6 +57,16 @@ from .task import Task
 __all__ = ["ParallelRunReport", "execute_cholesky_parallel"]
 
 
+def _make_lock():
+    """Executor-internal lock constructor.
+
+    The concurrency sanitizer (:mod:`repro.analysis.sanitize`)
+    monkeypatches this seam to observe the dispatch lock's
+    acquire/release edges; the plain path pays one extra call per run.
+    """
+    return threading.Lock()
+
+
 @dataclass
 class ParallelRunReport:
     """Outcome of a threaded run."""
@@ -139,7 +149,7 @@ def execute_cholesky_parallel(
 
         cancel = CancellationToken()
 
-    lock = threading.Lock()
+    lock = _make_lock()
     indegree = {uid: dag.in_degree(uid) for uid in dag.nodes}
     ready: list[tuple[float, int]] = [
         (-prio[uid], uid) for uid, deg in indegree.items() if deg == 0

@@ -143,7 +143,11 @@ class GeometryCache:
             self.misses += 1
         built = build_tile_geometry(kernel, x, tile_size)
         with self._lock:
-            self._tiled[key] = built
+            # Deliberate two-phase fill: the expensive geometry build
+            # runs unlocked, and a racing thread's duplicate insert is
+            # idempotent (same content key -> same value), so the
+            # check-then-act split is benign.
+            self._tiled[key] = built  # lockcheck: ignore[LOCK005]
             while len(self._tiled) > self.maxsize:
                 self._tiled.popitem(last=False)
         return built
@@ -170,7 +174,9 @@ class GeometryCache:
             self.misses += 1
         built = kernel.prepare_geometry(x1, x2)
         with self._lock:
-            self._pairs[key] = built
+            # Same two-phase fill as tile_geometry: duplicate inserts
+            # under the same content key are idempotent.
+            self._pairs[key] = built  # lockcheck: ignore[LOCK005]
             while len(self._pairs) > self.maxsize:
                 self._pairs.popitem(last=False)
         return built

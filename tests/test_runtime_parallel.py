@@ -1,5 +1,7 @@
 """Tests for the threaded parallel execution engine."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -86,3 +88,54 @@ class TestParallelEngine:
         np.testing.assert_array_equal(
             f1.to_dense(lower_only=True), f2.to_dense(lower_only=True)
         )
+
+
+#: Worker count of the stress pass; CI's chaos job raises it to 8 to
+#: widen the interleaving space beyond what the fast suite explores.
+STRESS_WORKERS = int(os.environ.get("REPRO_STRESS_WORKERS", "4"))
+
+
+class TestStressChaos:
+    def test_chaos_stress_matches_sequential(self):
+        """Many workers + seeded tile corruption: the retry policy
+        absorbs every injected fault and the factor still matches the
+        sequential engine bit for bit."""
+        from repro.resilience import ChaosConfig, RetryPolicy
+
+        tm = random_spd_tilematrix(240, 24, seed=11)
+        ref, _ = tile_cholesky(tm.copy())
+        par, report = execute_cholesky_parallel(
+            tm.copy(),
+            workers=STRESS_WORKERS,
+            retry=RetryPolicy(
+                max_attempts=4, base_delay_s=0.0, max_delay_s=0.0
+            ),
+            chaos=ChaosConfig(seed=20220101, tile_nan_rate=0.05),
+        )
+        np.testing.assert_array_equal(
+            ref.to_dense(lower_only=True), par.to_dense(lower_only=True)
+        )
+        assert report.chaos_events > 0
+        assert report.retries >= report.chaos_events
+
+    def test_chaos_stress_under_sanitizer_zero_findings(self):
+        """The same stress run with the dynamic race sanitizer watching
+        every tile write and dispatch-lock edge reports nothing."""
+        from repro.analysis import disable_sanitizer, enable_sanitizer
+        from repro.resilience import ChaosConfig, RetryPolicy
+
+        tm = random_spd_tilematrix(160, 16, seed=12)
+        state = enable_sanitizer()
+        try:
+            execute_cholesky_parallel(
+                tm,
+                workers=STRESS_WORKERS,
+                retry=RetryPolicy(
+                    max_attempts=4, base_delay_s=0.0, max_delay_s=0.0
+                ),
+                chaos=ChaosConfig(seed=20220101, tile_nan_rate=0.05),
+            )
+            report = state.report()
+        finally:
+            disable_sanitizer()
+        assert report.diagnostics == []
