@@ -524,6 +524,7 @@ def _install_patches() -> None:
     from ..core.serving import PredictionEngine
     from ..resilience.health import CircuitBreaker
     from ..runtime import parallel
+    from ..tile import batch as tile_batch
     from ..tile.geometry import GeometryCache
     from ..tile.matrix import TileMatrix
 
@@ -531,6 +532,12 @@ def _install_patches() -> None:
     _patch(
         parallel, "_make_lock",
         lambda: sanitized_lock(name="parallel.dispatch"),
+    )
+
+    # --- the batched dispatcher's scratch-pool free lists --------------
+    _patch(
+        tile_batch, "_make_lock",
+        lambda: sanitized_lock(name="batch.scratch"),
     )
 
     # --- tile accesses (dependence-ordered: RACE003 exempt) ------------
@@ -709,10 +716,12 @@ def run_sanitized_workload(
     (``workers`` threads, 5% seeded tile-NaN chaos absorbed by
     retries), the serving engine (parallel batches, a repeated batch
     for the LRU-hit path, 20% batch chaos under retry), the geometry
-    cache, and a breaker trip (three consecutive hard failures →
-    cross-LRU clear).  Chaos schedules are keyed on ``(seed, site,
-    attempt)``, so the workload — and any finding it produces — is
-    deterministic at a fixed seed.
+    cache, a breaker trip (three consecutive hard failures →
+    cross-LRU clear), and the batched homogeneous-group dispatcher
+    (``clamp=False`` so its pool really is ``workers`` wide) with its
+    shared :class:`~repro.tile.batch.ScratchPool`.  Chaos schedules
+    are keyed on ``(seed, site, attempt)``, so the workload — and any
+    finding it produces — is deterministic at a fixed seed.
     """
     import numpy as np
 
@@ -770,6 +779,22 @@ def run_sanitized_workload(
             except ChaosError:
                 hard_failures += 1
         assert hard_failures == 3, "breaker workload must fail 3x"
+        # Batched dispatcher: real dispatch threads (clamp off so the
+        # pool is genuinely concurrent even on few-core hosts) sharing
+        # one ScratchPool — exercises the pool's free-list lock and the
+        # per-tile fallback's stats lock.
+        from ..runtime.batchdispatch import execute_cholesky_batched
+        from ..tile.assembly import build_planned_covariance
+        from ..tile.batch import ScratchPool
+
+        planned, assembly = build_planned_covariance(
+            kernel, theta, x, tile, nugget=1.0e-8,
+            use_mp=True, use_tlr=True, batch=True,
+        )
+        execute_cholesky_batched(
+            planned, workers=workers, tile_tol=assembly.tile_tol,
+            pool=ScratchPool(), clamp=False,
+        )
         report = state.report()
         stats = state.stats
     finally:

@@ -56,7 +56,8 @@ class EvaluationEngine:
     ``False`` (disable geometry reuse), ``None``/``True`` (own a fresh
     :class:`~repro.tile.geometry.GeometryCache`), or an existing cache
     to share across engines.  ``workers``/``fast_lr`` default to the
-    variant's settings.
+    variant's settings; ``batch`` (default: the variant's flag) routes
+    assembly + factorization through the batched execution layer.
     """
 
     def __init__(
@@ -72,6 +73,7 @@ class EvaluationEngine:
         workers: int | None = None,
         fast_lr: bool | None = None,
         resilience: ResilienceConfig | None = None,
+        batch: bool | None = None,
     ):
         self.cfg = get_variant(variant)
         self.kernel = kernel
@@ -83,6 +85,7 @@ class EvaluationEngine:
             self.cfg.workers if workers is None else max(1, int(workers))
         )
         self.fast_lr = self.cfg.fast_lr if fast_lr is None else bool(fast_lr)
+        self.batch = self.cfg.batch if batch is None else bool(batch)
         if cache is False:
             self.cache: GeometryCache | None = None
         elif isinstance(cache, GeometryCache):
@@ -118,6 +121,7 @@ class EvaluationEngine:
                 rank_hints=self.rank_hints if self.rank_hints else None,
                 workers=self.workers, fast_lr=self.fast_lr,
                 resilience=self.resilience, deadline=deadline,
+                batch=self.batch,
             )
         except Exception:
             self._failures += 1

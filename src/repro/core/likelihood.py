@@ -12,6 +12,7 @@ FP64 path is provided as the independent reference for tests.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,9 +80,10 @@ def _factor_planned(
     workers: int,
     resilience=None,
     deadline=None,
+    batch: bool = False,
 ) -> tuple[TileMatrix, CholeskyStats]:
-    """Factor a planned covariance, sequentially or on the threaded DAG
-    executor.
+    """Factor a planned covariance: sequentially, on the threaded DAG
+    executor, or on the batched homogeneous-group dispatcher.
 
     The parallel engine wraps task failures in
     :class:`~repro.exceptions.SchedulingError`; an underlying
@@ -92,9 +94,26 @@ def _factor_planned(
     Task-level resilience hooks (retry / chaos) and deadlines live in
     the DAG executor, so configuring either routes the factorization
     through it even at ``workers=1``; with both absent the sequential
-    reference path runs bit-identically to the seed.
+    reference path runs bit-identically to the seed.  ``batch=True``
+    routes through
+    :func:`~repro.runtime.batchdispatch.execute_cholesky_batched`
+    (stacked BLAS over homogeneous ready groups, dense results
+    bit-identical) — but the batched dispatcher supports neither
+    deadlines nor task-level resilience, so those knobs win and the
+    run falls back to the heap executor.
     """
     task_level = resilience is not None and resilience.task_level
+    if batch and not task_level and deadline is None:
+        from ..runtime.batchdispatch import execute_cholesky_batched
+
+        factored, run = execute_cholesky_batched(
+            matrix,
+            workers=workers,
+            tile_tol=tile_tol,
+            max_rank=max_rank,
+            fp16_accumulate_fp32=fp16_accumulate_fp32,
+        )
+        return factored, run.stats
     if workers <= 1 and not task_level and deadline is None:
         return tile_cholesky(
             matrix,
@@ -139,6 +158,7 @@ def loglikelihood(
     fast_lr: bool | None = None,
     resilience: ResilienceConfig | None = None,
     deadline: Deadline | None = None,
+    batch: bool | None = None,
 ) -> LikelihoodResult:
     """Evaluate Eq. (1) through the tiled Cholesky pipeline.
 
@@ -173,9 +193,16 @@ def loglikelihood(
     max_rank = int(cfg.max_rank_fraction * tile_size) or None
     nworkers = cfg.workers if workers is None else max(1, int(workers))
     fast = cfg.fast_lr if fast_lr is None else bool(fast_lr)
+    use_batch = cfg.batch if batch is None else bool(batch)
+    if use_batch:
+        # The batched layer sizes every pool (generation, compression,
+        # dispatch) to the physical cores: oversubscribed threads only
+        # add overhead around vectorized calls, and thread count never
+        # changes results on any of these paths.
+        nworkers = min(nworkers, max(1, os.cpu_count() or 1))
     hotpath = dict(
         geometry=geometry, cache=cache, rank_hints=rank_hints,
-        sketch=fast, workers=nworkers,
+        sketch=fast, workers=nworkers, batch=use_batch,
     )
     recovery: RecoveryReport | None = None
     if cfg.recovery is not None:
@@ -193,6 +220,7 @@ def loglikelihood(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
+                batch=use_batch,
             )
 
         with use_fast_lr(fast):
@@ -215,6 +243,7 @@ def loglikelihood(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
+                batch=use_batch,
             )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z)
@@ -250,6 +279,7 @@ def loglikelihood_replicated(
     fast_lr: bool | None = None,
     resilience: ResilienceConfig | None = None,
     deadline: Deadline | None = None,
+    batch: bool | None = None,
 ) -> np.ndarray:
     """Log-likelihoods of many independent replicates sharing one
     location set (the Fig. 6 protocol: 100 synthetic fields at the same
@@ -278,9 +308,13 @@ def loglikelihood_replicated(
     max_rank = int(cfg.max_rank_fraction * tile_size) or None
     nworkers = cfg.workers if workers is None else max(1, int(workers))
     fast = cfg.fast_lr if fast_lr is None else bool(fast_lr)
+    use_batch = cfg.batch if batch is None else bool(batch)
+    if use_batch:
+        # Same pool-sizing rule as loglikelihood (see there).
+        nworkers = min(nworkers, max(1, os.cpu_count() or 1))
     hotpath = dict(
         geometry=geometry, cache=cache, rank_hints=rank_hints,
-        sketch=fast, workers=nworkers,
+        sketch=fast, workers=nworkers, batch=use_batch,
     )
     if cfg.recovery is not None:
 
@@ -297,6 +331,7 @@ def loglikelihood_replicated(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
+                batch=use_batch,
             )
 
         with use_fast_lr(fast):
@@ -318,6 +353,7 @@ def loglikelihood_replicated(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
+                batch=use_batch,
             )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z.T)  # (n, reps)

@@ -104,6 +104,7 @@ def fit_mle(
     cache: "GeometryCache | bool | None" = None,
     fast_lr: bool | None = None,
     resilience: ResilienceConfig | None = None,
+    batch: bool | None = None,
 ) -> MLEResult:
     """Fit kernel parameters by maximum likelihood.
 
@@ -126,7 +127,11 @@ def fit_mle(
     sets the generation/factorization thread pool, and ``fast_lr``
     opts into the fast low-rank arithmetic (see
     :class:`~repro.core.variants.VariantConfig`); each defaults to the
-    variant's setting.
+    variant's setting.  ``batch`` routes assembly + factorization
+    through the batched execution layer (stacked BLAS over homogeneous
+    tile groups) — note a ``time_budget_s`` deadline forces the
+    factorization back onto the per-tile executor, which supports
+    cooperative cancellation.
 
     ``resilience`` opts into the hardening layer: transient tile
     failures retry with seeded backoff, chaos injection (when
@@ -162,7 +167,7 @@ def fit_mle(
         engine = EvaluationEngine(
             kernel, x, z, tile_size=tile_size, variant=step_cfg,
             nugget=nugget, cache=cache, workers=workers, fast_lr=fast_lr,
-            resilience=resilience,
+            resilience=resilience, batch=batch,
         )
         failures = 0
         recoveries: list[RecoveryReport] = []

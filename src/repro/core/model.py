@@ -81,6 +81,11 @@ class ExaGeoStatModel:
         exploit depends on it.
     nugget:
         Fixed diagonal regularization added to the covariance.
+    batch:
+        Route assembly and factorization through the batched execution
+        layer (stacked BLAS over homogeneous tile groups, scratch-pool
+        reuse; DESIGN.md §14).  Purely a performance knob: dense-group
+        results are bit-identical to the per-tile path.
     resilience:
         Optional :class:`~repro.resilience.ResilienceConfig` applied to
         both fitting (task retries, variant degradation, chaos) and
@@ -96,6 +101,7 @@ class ExaGeoStatModel:
         tile_size: int = 64,
         ordering: str = "morton",
         nugget: float = 0.0,
+        batch: bool = False,
         resilience: ResilienceConfig | None = None,
     ):
         self.kernel = _resolve_kernel(kernel)
@@ -103,6 +109,7 @@ class ExaGeoStatModel:
         self.tile_size = int(tile_size)
         self.ordering = ordering
         self.nugget = float(nugget)
+        self.batch = bool(batch)
         self.resilience = resilience
 
         self.theta_: np.ndarray | None = None
@@ -160,6 +167,8 @@ class ExaGeoStatModel:
         xo, zo = self._ordered(x, z)
         mle_kwargs.setdefault("cache", self._cache)
         mle_kwargs.setdefault("resilience", self.resilience)
+        if self.batch:
+            mle_kwargs.setdefault("batch", True)
         result = fit_mle(
             self.kernel, xo, zo,
             tile_size=self.tile_size, variant=self.variant,
@@ -189,6 +198,7 @@ class ExaGeoStatModel:
             self.kernel, self.theta_, self._x, self._z,
             tile_size=self.tile_size, variant=self.variant,
             nugget=self.nugget, cache=self._cache,
+            batch=True if self.batch else None,
         )
         self.loglik_ = result.value
         return result

@@ -50,7 +50,11 @@ class VariantConfig:
     reference path, bit-identical for dense FP64).  ``fast_lr`` opts
     into the raw-LAPACK low-rank arithmetic and warm-started sketch
     compression — same error tolerance, different rounding, so it is
-    off by default.
+    off by default.  ``batch`` routes assembly and factorization
+    through the batched execution layer (stacked BLAS over homogeneous
+    tile groups, :mod:`repro.tile.batch`); dense results stay
+    bit-identical, but it is off by default because deadlines and
+    task-level resilience force a fallback to the per-tile executors.
     """
 
     name: str
@@ -70,6 +74,7 @@ class VariantConfig:
     recovery: RecoveryPolicy | None = None
     workers: int = 1
     fast_lr: bool = False
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:

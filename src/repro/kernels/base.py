@@ -20,7 +20,43 @@ import numpy as np
 from ..exceptions import ParameterError
 from .distance import as_locations
 
-__all__ = ["ParameterSpec", "CovarianceKernel", "PairGeometry", "check_theta"]
+__all__ = [
+    "ParameterSpec",
+    "CovarianceKernel",
+    "PairGeometry",
+    "check_theta",
+    "concat_flat",
+    "split_flat",
+]
+
+
+def concat_flat(arrays: list[np.ndarray]) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Concatenate arrays into one flat buffer, remembering shapes.
+
+    The workhorse of ``_cross_geometry_batch`` overrides: element-wise
+    kernel math on the concatenation is bit-identical to per-array
+    evaluation (ufuncs have no cross-element coupling), so one
+    vectorized call covers every tile of a fit.
+    """
+    shapes = [a.shape for a in arrays]
+    if not arrays:
+        return np.empty(0, dtype=np.float64), shapes
+    return np.concatenate([np.asarray(a).ravel() for a in arrays]), shapes
+
+
+def split_flat(
+    flat: np.ndarray, shapes: list[tuple[int, ...]]
+) -> list[np.ndarray]:
+    """Invert :func:`concat_flat`: shaped views into the flat result."""
+    out = []
+    pos = 0
+    for shape in shapes:
+        n = 1
+        for dim in shape:
+            n *= int(dim)
+        out.append(flat[pos:pos + n].reshape(shape))
+        pos += n
+    return out
 
 
 @dataclass(frozen=True)
@@ -171,6 +207,32 @@ class CovarianceKernel(abc.ABC):
                 f"{type(self).__name__} got foreign geometry {type(geom).__name__}"
             )
         return self._cross(theta, geom.x1, geom.x2)
+
+    def from_geometry_batch(
+        self, theta: np.ndarray, geoms: list[object]
+    ) -> list[np.ndarray]:
+        """Cross-covariances of *many* tiles at one ``theta``.
+
+        Equivalent to ``[self.from_geometry(theta, g) for g in geoms]``
+        but with ``theta`` validated once and — for kernels that
+        override :meth:`_cross_geometry_batch` — the transcendental
+        kernel math evaluated in a single vectorized call over the
+        concatenated geometry (one ``special.kve`` invocation per fit
+        instead of one per tile).  Overrides must stay bit-identical to
+        the per-tile path; element-wise math on a concatenation
+        guarantees that for free.
+        """
+        theta = self.validate_theta(theta)
+        return self._cross_geometry_batch(theta, list(geoms))
+
+    def _cross_geometry_batch(
+        self, theta: np.ndarray, geoms: list[object]
+    ) -> list[np.ndarray]:
+        """Batched evaluation on validated ``theta``.  The base
+        implementation loops :meth:`_cross_geometry` (full correctness,
+        no fusion); kernels whose math is element-wise override it with
+        a concat-evaluate-split."""
+        return [self._cross_geometry(theta, geom) for geom in geoms]
 
     def covariance_matrix(
         self, theta: np.ndarray, x: np.ndarray, *, nugget: float = 0.0

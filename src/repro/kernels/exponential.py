@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import CovarianceKernel, ParameterSpec
+from .base import CovarianceKernel, ParameterSpec, concat_flat, split_flat
 from .distance import as_locations, cross_distance, cross_sq_distance
 from .matern import DistanceGeometry
 
@@ -63,6 +63,20 @@ class ExponentialKernel(_DistanceGeometryMixin, CovarianceKernel):
         variance, rng = theta
         r = geom.r / -rng
         return variance * np.exp(r, out=r)
+
+    def _cross_geometry_batch(
+        self, theta: np.ndarray, geoms: list[DistanceGeometry]
+    ) -> list[np.ndarray]:
+        # Element-wise exp over the concatenated distances of every
+        # tile; bit-identical to the per-tile loop.  ``flat`` is a fresh
+        # concatenation, so the whole sweep runs in place — at n=1800
+        # the three temporaries this avoids are ~26 MB each.
+        variance, rng = theta
+        flat, shapes = concat_flat([g.r for g in geoms])
+        flat /= -rng
+        np.exp(flat, out=flat)
+        flat *= variance
+        return split_flat(flat, shapes)
 
 
 class PoweredExponentialKernel(_DistanceGeometryMixin, CovarianceKernel):
@@ -138,3 +152,11 @@ class GaussianKernel(CovarianceKernel):
         variance, rng = theta
         d2 = geom.r / (-2.0 * rng * rng)
         return variance * np.exp(d2, out=d2)
+
+    def _cross_geometry_batch(
+        self, theta: np.ndarray, geoms: list[DistanceGeometry]
+    ) -> list[np.ndarray]:
+        variance, rng = theta
+        flat, shapes = concat_flat([g.r for g in geoms])
+        d2 = flat / (-2.0 * rng * rng)
+        return split_flat(variance * np.exp(d2, out=d2), shapes)

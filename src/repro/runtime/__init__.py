@@ -16,6 +16,7 @@ Components:
   checkpoint/restart modeling for the simulator.
 """
 
+from .batchdispatch import execute_cholesky_batched
 from .comm import conversion_count, plan_wire_bytes, tile_wire_bytes
 from .dag import build_dag, critical_path_length, validate_schedule
 from .distribution import BlockCyclic2D, square_process_grid
@@ -46,6 +47,7 @@ __all__ = [
     "execute_forward_solve_tasks",
     "render_gantt",
     "execute_cholesky_parallel",
+    "execute_cholesky_batched",
     "ParallelRunReport",
     "utilization_profile",
     "FaultModel",

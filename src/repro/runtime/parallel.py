@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 import time
@@ -83,6 +84,14 @@ class ParallelRunReport:
     retries: int = 0
     #: Chaos injections that fired during this run (0 without chaos).
     chaos_events: int = 0
+    #: Homogeneous groups executed as single stacked-BLAS calls (only
+    #: non-zero for :func:`~repro.runtime.batchdispatch.execute_cholesky_batched`).
+    batches: int = 0
+    #: Tasks that ran inside a batched group.
+    batched_tasks: int = 0
+    #: Tasks that fell back to the per-tile kernels (low-rank or
+    #: otherwise non-batchable groups).
+    fallback_tasks: int = 0
 
 
 def _tile_is_finite(tile: Tile) -> bool:
@@ -227,12 +236,14 @@ def execute_cholesky_parallel(
                 if out.is_low_rank:
                     stats.max_rank_seen = max(stats.max_rank_seen, out.rank)
         matrix.set(*task.output, out)
-        with lock:
-            stats.count(task.op)
 
     def worker_loop() -> None:
         nonlocal remaining, running, max_running
         dispatched = False
+        # Per-worker tally, flushed once under the lock at worker exit
+        # (Counter bulk update instead of one locked dict write per
+        # task).
+        tally: Counter[str] = Counter()
         try:
             while True:
                 with done:
@@ -264,6 +275,7 @@ def execute_cholesky_parallel(
                     max_running = max(max_running, running)
                 task = task_by_uid[uid]
                 run_task(task)
+                tally[task.op] += 1
                 with done:
                     dispatched = False
                     running -= 1
@@ -284,6 +296,10 @@ def execute_cholesky_parallel(
                     running -= 1
                 cancel.cancel(f"worker failed: {exc!r}")
                 done.notify_all()
+        finally:
+            if tally:
+                with lock:
+                    stats.count_batch(tally)
 
     t0 = time.perf_counter()
     with ThreadPoolExecutor(max_workers=workers) as pool:

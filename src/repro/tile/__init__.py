@@ -9,6 +9,13 @@ Layering inside this subpackage (no cycles):
 
 from .assembly import AssemblyReport, assemble_dense, build_planned_covariance
 from .bandtuning import autotune_band_size, subdiagonal_times
+from .batch import (
+    ScratchPool,
+    batched_gemm,
+    batched_potrf,
+    batched_syrk,
+    batched_trsm,
+)
 from .cholesky import CholeskyStats, tile_cholesky
 from .compression import (
     compress_block,
@@ -94,6 +101,11 @@ __all__ = [
     "build_planned_covariance",
     "tile_cholesky",
     "CholeskyStats",
+    "ScratchPool",
+    "batched_potrf",
+    "batched_trsm",
+    "batched_syrk",
+    "batched_gemm",
     "PanelSolver",
     "forward_solve",
     "backward_solve",

@@ -21,6 +21,8 @@ DAG and a consistency test pins the two together.
 
 from __future__ import annotations
 
+from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..config import DEFAULT_MAX_RANK_FRACTION
@@ -44,6 +46,18 @@ class CholeskyStats:
 
     def count(self, op: str) -> None:
         self.kernel_counts[op] = self.kernel_counts.get(op, 0) + 1
+
+    def count_batch(self, ops: Iterable[str] | Counter) -> None:
+        """Bulk-tally a batch of operations in one C-level update.
+
+        ``kernel_counts`` stays a plain ``dict`` (its public shape);
+        the :class:`collections.Counter` is a transient accumulator,
+        so hot loops tally per batch / per panel instead of one dict
+        update per task.
+        """
+        tally = ops if isinstance(ops, Counter) else Counter(ops)
+        for op, n in tally.items():
+            self.kernel_counts[op] = self.kernel_counts.get(op, 0) + n
 
 
 def tile_cholesky(
@@ -85,22 +99,24 @@ def tile_cholesky(
         max_rank = int(DEFAULT_MAX_RANK_FRACTION * a.layout.tile_size) or None
     stats = CholeskyStats()
     for k in range(nt):
+        # Per-panel Counter tally instead of one dict update per task.
+        panel: Counter[str] = Counter()
         lkk = K.potrf(a.get(k, k), index=(k, k))
         a.set(k, k, lkk)
-        stats.count("potrf")
+        panel["potrf"] += 1
         for m in range(k + 1, nt):
             amk = K.trsm(
                 lkk, a.get(m, k), fp16_accumulate_fp32=fp16_accumulate_fp32
             )
             a.set(m, k, amk)
-            stats.count("trsm")
+            panel["trsm"] += 1
         for m in range(k + 1, nt):
             amk = a.get(m, k)
             new_diag = K.syrk(
                 amk, a.get(m, m), fp16_accumulate_fp32=fp16_accumulate_fp32
             )
             a.set(m, m, new_diag)
-            stats.count("syrk")
+            panel["syrk"] += 1
             for n in range(k + 1, m):
                 was_lr = a.get(m, n).is_low_rank
                 cmn = K.gemm(
@@ -116,5 +132,6 @@ def tile_cholesky(
                 if cmn.is_low_rank:
                     stats.max_rank_seen = max(stats.max_rank_seen, cmn.rank)
                 a.set(m, n, cmn)
-                stats.count("gemm")
+                panel["gemm"] += 1
+        stats.count_batch(panel)
     return a, stats

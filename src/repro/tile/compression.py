@@ -27,6 +27,7 @@ applied by the caller when wrapping results into tiles.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from functools import lru_cache
 
 import numpy as np
 from scipy.linalg import get_lapack_funcs
@@ -39,6 +40,7 @@ __all__ = [
     "truncated_svd",
     "frobenius_rank",
     "compress_block",
+    "compress_many",
     "compress_or_rank",
     "compress_tile",
     "recompress",
@@ -193,6 +195,195 @@ def compress_or_rank(
     u = uu[:, :rank] * s[:rank]
     v = vt[:rank, :].T
     return rank, u, v
+
+
+@lru_cache(maxsize=2048)
+def _tile_omega(seed: int, n: int, k: int) -> np.ndarray:
+    """Round-1 test matrix of a sketched tile.
+
+    The draw depends only on the tile's key-derived seed and the sketch
+    width — never on ``theta`` or the data — so it is cached across
+    optimizer iterates.  The array is frozen; callers copy it into
+    their operand stacks.
+    """
+    omega = np.random.default_rng(seed).standard_normal((n, k))
+    omega.setflags(write=False)
+    return omega
+
+
+@lru_cache(maxsize=2048)
+def _tile_omega2(seed: int, n: int, k: int, k2: int) -> np.ndarray:
+    """Growth-retry test matrix: the ``(n, k2)`` draw that follows the
+    round-1 ``(n, k)`` draw on the same key-seeded stream."""
+    gen = np.random.default_rng(seed)
+    gen.standard_normal((n, k))
+    omega = gen.standard_normal((n, k2))
+    omega.setflags(write=False)
+    return omega
+
+
+def _certify_sketch(
+    qp: np.ndarray, blk: np.ndarray, tol: float, cap: int, k: int, mn: int
+) -> tuple[str, tuple[int, np.ndarray, np.ndarray] | None]:
+    """Certify one range-finder round given its orthonormal basis.
+
+    Returns ``("ok", (r, u, v))`` when the round certifies a rank,
+    ``("retry", None)`` when the sketch must grow, or ``("exact",
+    None)`` for the exact-SVD fallback — exactly the decision rules of
+    one :func:`_sketch_compress` loop iteration.
+    """
+    bp = qp.T @ blk
+    norm2 = float(np.sum(blk * blk))
+    proj2 = max(norm2 - float(np.sum(bp * bp)), 0.0)
+    w, qb, info = _syev(bp @ bp.T)
+    if info != 0:
+        return "exact", None
+    s2 = np.maximum(w[::-1], 0.0)
+    ub = qb[:, ::-1]
+    tail2 = np.append(np.cumsum(s2[::-1])[::-1], 0.0)
+    err = np.sqrt(proj2 + tail2)
+    admissible = np.nonzero(err <= tol)[0]
+    if admissible.size:
+        r = int(admissible[0])
+        if r > cap:
+            return "exact", None
+        if r < k or k == mn:
+            s = np.sqrt(s2[:r])
+            safe = np.maximum(s, np.finfo(np.float64).tiny)
+            u = qp @ (ub[:, :r] * s)
+            v = (bp.T @ ub[:, :r]) / safe
+            return "ok", (r, u, v)
+    return ("retry", None) if k < mn else ("exact", None)
+
+
+def compress_many(
+    blocks: "dict[tuple[int, int], np.ndarray]",
+    keys: "list[tuple[int, int]]",
+    tol: float,
+    *,
+    max_rank: int | None = None,
+    hints: "dict[tuple[int, int], int] | None" = None,
+    sketch: bool = False,
+    seed_for=None,
+) -> "dict[tuple[int, int], tuple[int, np.ndarray | None, np.ndarray | None]]":
+    """Batched :func:`compress_or_rank` over many assembly tiles.
+
+    Tiles are grouped by shape (and sketch width) and the per-tile
+    numpy calls become stacked ones — one gufunc QR/SVD and one 3-D
+    ``matmul`` per group instead of a Python-level call per tile.
+    Every stacked slice runs the same LAPACK routine on the same
+    operand as the per-tile path, Frobenius norms are taken over the
+    original blocks, and each tile's sketch rng is seeded from its own
+    key by ``seed_for`` (draws are data-independent, so the test
+    matrices are memoized across calls), so results are bit-identical
+    to calling
+    :func:`compress_or_rank` tile by tile (pinned in tests).  Tiles
+    whose sketch cannot certify a rank within the first round run the
+    growth retry per tile from their *retained* rng (the stream is
+    already positioned after the round-1 draw) and, failing that, join
+    the stacked exact-SVD group — the same draws and fallback as the
+    per-tile path without recomputing round 1.
+    """
+    out: dict = {}
+    if not keys:
+        return out
+
+    def _cap(shape) -> int:
+        mn = min(shape)
+        return mn if max_rank is None else min(int(max_rank), mn)
+
+    values_only: dict = {}
+    sketched: dict = {}
+    exact: dict = {}
+    for key in keys:
+        shape = blocks[key].shape
+        hint = None if hints is None else hints.get(key)
+        if hint is not None and hint > _cap(shape):
+            values_only.setdefault(shape, []).append(key)
+        elif sketch and hint is not None and seed_for is not None:
+            k = min(max(hint, 1) + _SKETCH_OVERSAMPLE, min(shape))
+            sketched.setdefault((shape, k), []).append(key)
+        else:
+            exact.setdefault(shape, []).append(key)
+
+    # Expected over-cap: stacked values-only SVD, no U/V work.  Tiles
+    # whose hint proves stale fall through to the exact group, exactly
+    # like the per-tile path.
+    for shape, group in values_only.items():
+        stack = np.stack(
+            [np.asarray(blocks[key], dtype=np.float64) for key in group]
+        )
+        svals = np.linalg.svd(stack, compute_uv=False)
+        cap = _cap(shape)
+        for key, s in zip(group, svals):
+            rank, _ = frobenius_rank(s, tol)
+            if rank > cap:
+                out[key] = (rank, None, None)
+            else:
+                exact.setdefault(shape, []).append(key)
+
+    # Certified randomized range-finder, round 1 stacked: draw each
+    # tile's test matrix from its own rng, then one batched GEMM + QR +
+    # projection for the whole width class.  The small ``syev`` and the
+    # truncation bookkeeping stay per tile (k x k work).
+    for (shape, k), group in sketched.items():
+        m, n = shape
+        mn = min(m, n)
+        cap = _cap(shape)
+        astack = np.stack(
+            [np.asarray(blocks[key], dtype=np.float64) for key in group]
+        )
+        omegas = np.empty((len(group), n, k))
+        for p, key in enumerate(group):
+            omegas[p] = _tile_omega(seed_for(key), n, k)
+        qstack = np.linalg.qr(np.matmul(astack, omegas))[0]
+        grow: list[tuple[tuple[int, int], np.ndarray]] = []
+        for p, key in enumerate(group):
+            blk = np.asarray(blocks[key], dtype=np.float64)
+            # ``_thin_qr_fast`` hands the per-tile path an F-ordered Q
+            # (raw LAPACK output); the projection GEMMs in the certify
+            # step are layout-sensitive at the bit level, so restore
+            # that layout before reproducing them.
+            status, res = _certify_sketch(
+                np.asfortranarray(qstack[p]), blk, tol, cap, k, mn
+            )
+            if status == "ok":
+                out[key] = res
+            elif status == "retry":
+                grow.append((key, blk))
+            else:
+                exact.setdefault(shape, []).append(key)
+        # Growth retry per tile; ``_tile_omega2`` reproduces the draw
+        # the per-tile path's second loop iteration reads (the stream
+        # position right after round 1), so the grown sketch is
+        # bit-identical without replaying round 1.
+        k2 = min(2 * k, mn)
+        for key, blk in grow:
+            q, _ = _thin_qr_fast(blk @ _tile_omega2(seed_for(key), n, k, k2))
+            status, res = _certify_sketch(q, blk, tol, cap, k2, mn)
+            if status == "ok":
+                out[key] = res
+            else:
+                exact.setdefault(shape, []).append(key)
+
+    # Exact truncated SVD, one stacked gesdd per shape.
+    for shape, group in exact.items():
+        cap = _cap(shape)
+        astack = np.stack(
+            [np.asarray(blocks[key], dtype=np.float64) for key in group]
+        )
+        uu, s, vt = np.linalg.svd(astack, full_matrices=False)
+        for p, key in enumerate(group):
+            rank, _ = frobenius_rank(s[p], tol)
+            if rank > cap:
+                out[key] = (rank, None, None)
+            else:
+                out[key] = (
+                    rank,
+                    uu[p][:, :rank] * s[p][:rank],
+                    vt[p][:rank, :].T,
+                )
+    return out
 
 
 def compress_block(
@@ -358,6 +549,12 @@ def lr_add(
     ``u1 @ v1.T + u2 @ v2.T`` is represented exactly by the stacked
     factors ``[u1 u2] @ [v1 v2].T`` (rank ``k1 + k2``), then truncated.
     """
-    u = np.hstack([np.asarray(u1, dtype=np.float64), np.asarray(u2, dtype=np.float64)])
-    v = np.hstack([np.asarray(v1, dtype=np.float64), np.asarray(v2, dtype=np.float64)])
+    u = np.concatenate(
+        [np.asarray(u1, dtype=np.float64), np.asarray(u2, dtype=np.float64)],
+        axis=1,
+    )
+    v = np.concatenate(
+        [np.asarray(v1, dtype=np.float64), np.asarray(v2, dtype=np.float64)],
+        axis=1,
+    )
     return recompress(u, v, tol, max_rank)
