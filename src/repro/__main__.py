@@ -12,13 +12,17 @@ Commands
     Print the Fig. 5 dense/TLR crossover analysis for a tile size.
 ``scaling [--nodes N] [--matrix M]``
     Fig. 10-style projection for a weak-correlation problem.
-``analyze [--lint PATH ...] [--golden-plans] [--serving] [--resilience]
-[--concurrency [PATH ...]] [--sanitize-run] [--json] [--rules]``
+``analyze [--lint PATH ...] [--golden-plans] [--serving] [--comm]
+[--resilience] [--concurrency [PATH ...]] [--sanitize-run] [--json]
+[--rules]``
     Verification layer: run the numerical-hygiene linter over source
     paths, the golden-plan suite (every shipped variant at nt in
     {4, 8} through the plan + DAG verifiers), the serving
     amortization check (one engine build, one Eq.-4 weight solve, no
-    per-batch tile re-casts), the golden resilience invariants
+    per-batch tile re-casts), the owner-computes traffic cross-check
+    (``--comm``: the process backend's measured transfers must equal
+    the simulator's wire-format model byte-for-byte on a dense plan),
+    the golden resilience invariants
     (seeded chaos reproducibility, inert-hook bit-identity,
     degradation ladder, deadline drain), the static lock-discipline
     analyzer (``--concurrency``, defaulting to the installed package
@@ -129,6 +133,7 @@ def _cmd_scaling(args) -> int:
 
 def _cmd_analyze(args) -> int:
     from repro.analysis import (
+        COMM_RULES,
         DAG_RULES,
         LINT_RULES,
         LOCK_RULES,
@@ -138,6 +143,7 @@ def _cmd_analyze(args) -> int:
         SERVE_RULES,
         AnalysisReport,
         Severity,
+        check_golden_comm,
         check_golden_plans,
         check_golden_resilience,
         check_golden_serving,
@@ -148,17 +154,17 @@ def _cmd_analyze(args) -> int:
 
     if args.rules:
         for catalog in (
-            PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES, RES_RULES,
-            LOCK_RULES, RACE_RULES,
+            PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES, COMM_RULES,
+            RES_RULES, LOCK_RULES, RACE_RULES,
         ):
             for rule, text in catalog.items():
                 print(f"  {rule}  {text}")
         return 0
-    if not (args.lint or args.golden_plans or args.serving
+    if not (args.lint or args.golden_plans or args.serving or args.comm
             or args.resilience or args.concurrency is not None
             or args.sanitize_run):
         print("nothing to analyze: pass --lint PATH ..., "
-              "--golden-plans, --serving, --resilience, "
+              "--golden-plans, --serving, --comm, --resilience, "
               "--concurrency, and/or --sanitize-run",
               file=sys.stderr)
         return 2
@@ -169,6 +175,8 @@ def _cmd_analyze(args) -> int:
         report.extend(check_golden_plans())
     if args.serving:
         report.extend(check_golden_serving())
+    if args.comm:
+        report.extend(check_golden_comm())
     if args.resilience:
         report.extend(check_golden_resilience())
     if args.concurrency is not None:
@@ -208,6 +216,11 @@ def main(argv: list[str] | None = None) -> int:
                      help="verify the prediction serving path amortizes "
                           "(one engine build, one weight solve, no "
                           "per-batch tile re-casts)")
+    p_a.add_argument("--comm", action="store_true",
+                     help="cross-check the process backend's measured "
+                          "owner-computes traffic against the "
+                          "simulator's wire-format model (dense plan, "
+                          "byte-for-byte)")
     p_a.add_argument("--resilience", action="store_true",
                      help="run the golden resilience invariants (seeded "
                           "chaos reproducibility, inert-hook identity, "

@@ -29,9 +29,11 @@ findings; ``python -m repro analyze`` exposes everything on the CLI.
 from .dagcheck import DAG_RULES, check_dag, check_task_stream, check_taskgraph
 from .diagnostics import AnalysisReport, Diagnostic, Severity
 from .golden import (
+    COMM_RULES,
     GOLDEN_NTS,
     GOLDEN_VARIANTS,
     SERVE_RULES,
+    check_golden_comm,
     check_golden_plan,
     check_golden_plans,
     check_golden_serving,
@@ -77,6 +79,7 @@ __all__ = [
     "check_golden_plan",
     "check_golden_plans",
     "check_golden_serving",
+    "check_golden_comm",
     "check_golden_resilience",
     "GOLDEN_VARIANTS",
     "GOLDEN_NTS",
@@ -84,6 +87,7 @@ __all__ = [
     "DAG_RULES",
     "LINT_RULES",
     "SERVE_RULES",
+    "COMM_RULES",
     "RES_RULES",
     "LOCK_RULES",
     "RACE_RULES",

@@ -17,19 +17,22 @@ import numpy as np
 from ..config import DEFAULT_SEED
 from ..core.variants import get_variant
 from ..kernels import MaternKernel
+from ..runtime.comm import model_comm_volume
 from ..runtime.taskgraph import cholesky_tasks, forward_solve_tasks
 from ..tile.assembly import build_planned_covariance
 from .dagcheck import check_taskgraph
 from .diagnostics import AnalysisReport, Diagnostic, Severity
-from .plancheck import check_plan
+from .plancheck import check_plan, plan_from_matrix
 
 __all__ = [
     "GOLDEN_VARIANTS",
     "GOLDEN_NTS",
     "SERVE_RULES",
+    "COMM_RULES",
     "check_golden_plan",
     "check_golden_plans",
     "check_golden_serving",
+    "check_golden_comm",
 ]
 
 #: Serving-amortization rules enforced by :func:`check_golden_serving`.
@@ -43,6 +46,15 @@ SERVE_RULES: dict[str, str] = {
                 "batch)",
     "SERVE004": "repeated identical test batch missed the "
                 "cross-covariance cache",
+}
+
+#: Owner-computes traffic rules enforced by :func:`check_golden_comm`.
+COMM_RULES: dict[str, str] = {
+    "COMM001": "measured remote transfer volume diverges from the "
+               "wire-format model on a dense plan (the process backend's "
+               "comm accounting or the simulator model broke)",
+    "COMM002": "measured remote/local read counts diverge from the "
+               "owner-computes block-cyclic mapping",
 }
 
 #: The shipped pipeline variants the golden suite covers.
@@ -160,6 +172,67 @@ def check_golden_serving(
         f"({stats.predictions} predictions, {stats.tile_casts} casts, "
         f"{stats.weight_solves} weight solve(s), "
         f"{stats.cross_hits} cache hit(s))",
+    ))
+    return report
+
+
+def check_golden_comm(nt: int = 8, *, workers: int = 4) -> AnalysisReport:
+    """Cross-check the process backend's *measured* traffic against the
+    simulator's wire-format *model*.
+
+    Builds the dense-FP64 golden problem at ``nt`` tiles, factors it on
+    the shared-memory process backend with ``workers`` worker
+    processes, and requires the executor's measured
+    :class:`~repro.runtime.comm.CommStats` to equal
+    :func:`~repro.runtime.comm.model_comm_volume` byte-for-byte on the
+    plan reconstructed from the assembled matrix
+    (:func:`~repro.analysis.plancheck.plan_from_matrix`).  Dense plans
+    keep exactly the representation the wire model assumes, so any
+    divergence means the backend's remote-read accounting (or the
+    model) regressed.  Rules are catalogued in :data:`COMM_RULES`.
+    """
+    from ..runtime.procpool import ProcessPoolEngine
+
+    report = AnalysisReport()
+    config = get_variant("dense-fp64")
+    theta = np.asarray(_GOLDEN_THETA)
+    x = _golden_locations(nt)
+    matrix, _ = build_planned_covariance(
+        MaternKernel(), theta, x, _GOLDEN_TILE,
+        nugget=_GOLDEN_NUGGET, **config.assembly_kwargs(),
+    )
+    plan = plan_from_matrix(matrix)
+    tasks = list(cholesky_tasks(nt))
+    engine = ProcessPoolEngine(workers=workers)
+    try:
+        _, run = engine.execute(matrix)
+    finally:
+        engine.close()
+    measured, modeled = run.comm, model_comm_volume(plan, engine.grid, tasks)
+
+    if (measured.remote_reads, measured.local_reads) != (
+        modeled.remote_reads, modeled.local_reads
+    ):
+        report.add(Diagnostic(
+            "COMM002", Severity.ERROR,
+            f"read counts diverge: measured {measured.remote_reads} "
+            f"remote / {measured.local_reads} local, modeled "
+            f"{modeled.remote_reads} remote / {modeled.local_reads} "
+            f"local ({engine.grid.p}x{engine.grid.q} grid, nt={nt})",
+        ))
+    if measured.remote_bytes != modeled.remote_bytes:
+        report.add(Diagnostic(
+            "COMM001", Severity.ERROR,
+            f"remote volume diverges: measured {measured.remote_bytes} "
+            f"B, modeled {modeled.remote_bytes} B on a dense plan "
+            f"({engine.grid.p}x{engine.grid.q} grid, nt={nt})",
+        ))
+    status = "clean" if report.ok else f"{len(report.errors)} error(s)"
+    report.add(Diagnostic(
+        "GOLDEN", Severity.INFO,
+        f"comm on dense-fp64 at nt={nt}, {workers} worker(s): {status} "
+        f"({measured.remote_reads} remote reads, "
+        f"{measured.remote_bytes} B, {measured.local_reads} local)",
     ))
     return report
 

@@ -58,6 +58,13 @@ class EvaluationEngine:
     to share across engines.  ``workers``/``fast_lr`` default to the
     variant's settings; ``batch`` (default: the variant's flag) routes
     assembly + factorization through the batched execution layer.
+
+    ``backend`` (default: the variant's setting) picks the
+    factorization engine; with ``"process"`` this engine owns a
+    persistent :class:`~repro.runtime.procpool.ProcessPoolEngine` whose
+    workers are spawned once and reused by every evaluation — call
+    :meth:`close` (or use the engine as a context manager) to stop
+    them.  All backends return bit-identical results.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class EvaluationEngine:
         fast_lr: bool | None = None,
         resilience: ResilienceConfig | None = None,
         batch: bool | None = None,
+        backend: str | None = None,
     ):
         self.cfg = get_variant(variant)
         self.kernel = kernel
@@ -86,6 +94,12 @@ class EvaluationEngine:
         )
         self.fast_lr = self.cfg.fast_lr if fast_lr is None else bool(fast_lr)
         self.batch = self.cfg.batch if batch is None else bool(batch)
+        self.backend = self.cfg.backend if backend is None else str(backend)
+        self._procpool = None
+        if self.backend == "process":
+            from ..runtime.procpool import ProcessPoolEngine
+
+            self._procpool = ProcessPoolEngine(workers=self.workers)
         if cache is False:
             self.cache: GeometryCache | None = None
         elif isinstance(cache, GeometryCache):
@@ -122,6 +136,7 @@ class EvaluationEngine:
                 workers=self.workers, fast_lr=self.fast_lr,
                 resilience=self.resilience, deadline=deadline,
                 batch=self.batch,
+                backend=self.backend, procpool=self._procpool,
             )
         except Exception:
             self._failures += 1
@@ -134,6 +149,19 @@ class EvaluationEngine:
         if result.report.ranks:
             self.rank_hints.update(result.report.ranks)
         return result
+
+    def close(self) -> None:
+        """Release backend resources — for ``backend="process"``, stop
+        the persistent worker pool.  Idempotent; the engine stays
+        usable (the pool restarts lazily on the next evaluation)."""
+        if self._procpool is not None:
+            self._procpool.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def stats(self) -> EngineStats:
         return EngineStats(

@@ -17,7 +17,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import NotPositiveDefiniteError, SchedulingError, ShapeError
+from ..exceptions import (
+    ConfigurationError,
+    NotPositiveDefiniteError,
+    SchedulingError,
+    ShapeError,
+)
 from ..kernels.base import CovarianceKernel
 from ..resilience import Deadline, ResilienceConfig
 from ..resilience.validate import require_finite
@@ -81,19 +86,42 @@ def _factor_planned(
     resilience=None,
     deadline=None,
     batch: bool = False,
+    backend: str = "auto",
+    procpool=None,
 ) -> tuple[TileMatrix, CholeskyStats]:
     """Factor a planned covariance: sequentially, on the threaded DAG
-    executor, or on the batched homogeneous-group dispatcher.
+    executor, on the batched homogeneous-group dispatcher, or on the
+    process-parallel backend.
 
-    The parallel engine wraps task failures in
+    The parallel engines wrap task failures in
     :class:`~repro.exceptions.SchedulingError`; an underlying
     :class:`~repro.exceptions.NotPositiveDefiniteError` is unwrapped
     here so MLE drivers and the recovery ladder see the same exception
     either way.
 
+    ``backend`` selects the execution engine:
+
+    * ``"auto"`` (default): the historical routing below — batched
+      dispatcher when ``batch``, sequential when ``workers <= 1`` with
+      no task-level resilience or deadline, threaded DAG executor
+      otherwise;
+    * ``"sequential"``: force one worker, then the auto routing (so
+      resilience/deadline still get their executor, at ``workers=1``);
+    * ``"thread"``: the thread-based executors regardless of worker
+      count (the batched dispatcher when ``batch``, else the DAG
+      executor);
+    * ``"process"``: the shared-memory
+      :class:`~repro.runtime.procpool.ProcessPoolEngine` — pass an
+      engine via ``procpool`` to reuse its persistent worker pool
+      across evaluations (the
+      :class:`~repro.core.engine.EvaluationEngine` does), else an
+      ephemeral pool spins up for this call.  Deadlines, retry, chaos,
+      and ``batch`` all apply in-worker; results are bit-identical to
+      every other backend.
+
     Task-level resilience hooks (retry / chaos) and deadlines live in
-    the DAG executor, so configuring either routes the factorization
-    through it even at ``workers=1``; with both absent the sequential
+    the executors, so configuring either routes the factorization
+    through one even at ``workers=1``; with both absent the sequential
     reference path runs bit-identically to the seed.  ``batch=True``
     routes through
     :func:`~repro.runtime.batchdispatch.execute_cholesky_batched`
@@ -103,7 +131,45 @@ def _factor_planned(
     run falls back to the heap executor.
     """
     task_level = resilience is not None and resilience.task_level
-    if batch and not task_level and deadline is None:
+    if backend == "process":
+        from ..runtime.procpool import ProcessPoolEngine
+
+        engine = procpool
+        ephemeral = engine is None
+        if ephemeral:
+            engine = ProcessPoolEngine(workers=workers)
+        try:
+            factored, run = engine.execute(
+                matrix,
+                tile_tol=tile_tol,
+                max_rank=max_rank,
+                fp16_accumulate_fp32=fp16_accumulate_fp32,
+                deadline=deadline,
+                retry=None if resilience is None else resilience.retry,
+                chaos=None if resilience is None
+                else resilience.resolve_chaos(),
+                batch=batch,
+            )
+        except SchedulingError as exc:
+            cause = exc.__cause__
+            if isinstance(cause, NotPositiveDefiniteError):
+                raise cause from exc
+            raise
+        finally:
+            if ephemeral:
+                engine.close()
+        return factored, run.stats
+    if backend == "sequential":
+        workers = 1
+    elif backend not in ("auto", "thread"):
+        raise ConfigurationError(
+            f"unknown execution backend {backend!r}; expected 'auto', "
+            "'sequential', 'thread', or 'process'"
+        )
+    if (
+        backend in ("auto", "thread") and batch
+        and not task_level and deadline is None
+    ):
         from ..runtime.batchdispatch import execute_cholesky_batched
 
         factored, run = execute_cholesky_batched(
@@ -114,7 +180,10 @@ def _factor_planned(
             fp16_accumulate_fp32=fp16_accumulate_fp32,
         )
         return factored, run.stats
-    if workers <= 1 and not task_level and deadline is None:
+    if (
+        backend != "thread" and workers <= 1
+        and not task_level and deadline is None
+    ):
         return tile_cholesky(
             matrix,
             tile_tol=tile_tol,
@@ -159,6 +228,8 @@ def loglikelihood(
     resilience: ResilienceConfig | None = None,
     deadline: Deadline | None = None,
     batch: bool | None = None,
+    backend: str | None = None,
+    procpool=None,
 ) -> LikelihoodResult:
     """Evaluate Eq. (1) through the tiled Cholesky pipeline.
 
@@ -185,6 +256,14 @@ def loglikelihood(
     :class:`~repro.exceptions.DeadlineExceededError` after a clean
     pool drain.  Both default to ``None`` — the unhardened path, which
     is bit-identical to earlier releases.
+
+    ``backend`` picks the execution engine (``"auto"`` /
+    ``"sequential"`` / ``"thread"`` / ``"process"``; see
+    :func:`_factor_planned`), defaulting to the variant's setting;
+    ``procpool`` supplies a persistent
+    :class:`~repro.runtime.procpool.ProcessPoolEngine` so repeated
+    ``backend="process"`` evaluations reuse one worker pool.  Every
+    backend returns bit-identical results.
     """
     cfg = get_variant(variant)
     if resilience is not None:
@@ -194,6 +273,7 @@ def loglikelihood(
     nworkers = cfg.workers if workers is None else max(1, int(workers))
     fast = cfg.fast_lr if fast_lr is None else bool(fast_lr)
     use_batch = cfg.batch if batch is None else bool(batch)
+    use_backend = cfg.backend if backend is None else str(backend)
     if use_batch:
         # The batched layer sizes every pool (generation, compression,
         # dispatch) to the physical cores: oversubscribed threads only
@@ -220,7 +300,7 @@ def loglikelihood(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
-                batch=use_batch,
+                batch=use_batch, backend=use_backend, procpool=procpool,
             )
 
         with use_fast_lr(fast):
@@ -243,7 +323,7 @@ def loglikelihood(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
-                batch=use_batch,
+                batch=use_batch, backend=use_backend, procpool=procpool,
             )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z)
@@ -280,6 +360,8 @@ def loglikelihood_replicated(
     resilience: ResilienceConfig | None = None,
     deadline: Deadline | None = None,
     batch: bool | None = None,
+    backend: str | None = None,
+    procpool=None,
 ) -> np.ndarray:
     """Log-likelihoods of many independent replicates sharing one
     location set (the Fig. 6 protocol: 100 synthetic fields at the same
@@ -309,6 +391,7 @@ def loglikelihood_replicated(
     nworkers = cfg.workers if workers is None else max(1, int(workers))
     fast = cfg.fast_lr if fast_lr is None else bool(fast_lr)
     use_batch = cfg.batch if batch is None else bool(batch)
+    use_backend = cfg.backend if backend is None else str(backend)
     if use_batch:
         # Same pool-sizing rule as loglikelihood (see there).
         nworkers = min(nworkers, max(1, os.cpu_count() or 1))
@@ -331,7 +414,7 @@ def loglikelihood_replicated(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
-                batch=use_batch,
+                batch=use_batch, backend=use_backend, procpool=procpool,
             )
 
         with use_fast_lr(fast):
@@ -353,7 +436,7 @@ def loglikelihood_replicated(
                 fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
                 workers=nworkers,
                 resilience=resilience, deadline=deadline,
-                batch=use_batch,
+                batch=use_batch, backend=use_backend, procpool=procpool,
             )
     logdet = tile_logdet(factor)
     y = forward_solve(factor, z.T)  # (n, reps)

@@ -105,6 +105,7 @@ def fit_mle(
     fast_lr: bool | None = None,
     resilience: ResilienceConfig | None = None,
     batch: bool | None = None,
+    backend: str | None = None,
 ) -> MLEResult:
     """Fit kernel parameters by maximum likelihood.
 
@@ -131,7 +132,12 @@ def fit_mle(
     through the batched execution layer (stacked BLAS over homogeneous
     tile groups) — note a ``time_budget_s`` deadline forces the
     factorization back onto the per-tile executor, which supports
-    cooperative cancellation.
+    cooperative cancellation.  ``backend`` picks the factorization
+    engine (``"auto"`` / ``"sequential"`` / ``"thread"`` /
+    ``"process"``); with ``"process"`` each rung's engine owns a
+    persistent shared-memory worker pool, spawned once and reused by
+    every evaluation of the fit, and all backends produce the same
+    log-likelihoods and optimizer iterates bit-for-bit.
 
     ``resilience`` opts into the hardening layer: transient tile
     failures retry with seeded backoff, chaos injection (when
@@ -167,7 +173,7 @@ def fit_mle(
         engine = EvaluationEngine(
             kernel, x, z, tile_size=tile_size, variant=step_cfg,
             nugget=nugget, cache=cache, workers=workers, fast_lr=fast_lr,
-            resilience=resilience, batch=batch,
+            resilience=resilience, batch=batch, backend=backend,
         )
         failures = 0
         recoveries: list[RecoveryReport] = []
@@ -223,6 +229,7 @@ def fit_mle(
             history = [-v for v in opt.history]
         except _BudgetExhausted as stop:
             if best is None:
+                engine.close()  # no result escapes; stop the backend
                 raise
             stopped_on = stop.reason
             fun, u_hat = best
@@ -287,6 +294,7 @@ def fit_mle(
             break
         degradation.variant_path.append(step_cfg.name)
         degradation.retries += engine.health().retries
+        engine.close()  # rung done: stop any process-backend workers
         all_failures += result.failed_evaluations
         all_recoveries.extend(result.recovery_reports)
         if rung > 0:

@@ -86,6 +86,11 @@ class ExaGeoStatModel:
         layer (stacked BLAS over homogeneous tile groups, scratch-pool
         reuse; DESIGN.md §14).  Purely a performance knob: dense-group
         results are bit-identical to the per-tile path.
+    backend:
+        Factorization execution backend (``"auto"`` / ``"sequential"``
+        / ``"thread"`` / ``"process"``; DESIGN.md §15).  ``None``
+        defers to the variant.  Also purely a performance knob: every
+        backend produces bit-identical results.
     resilience:
         Optional :class:`~repro.resilience.ResilienceConfig` applied to
         both fitting (task retries, variant degradation, chaos) and
@@ -102,6 +107,7 @@ class ExaGeoStatModel:
         ordering: str = "morton",
         nugget: float = 0.0,
         batch: bool = False,
+        backend: str | None = None,
         resilience: ResilienceConfig | None = None,
     ):
         self.kernel = _resolve_kernel(kernel)
@@ -110,6 +116,7 @@ class ExaGeoStatModel:
         self.ordering = ordering
         self.nugget = float(nugget)
         self.batch = bool(batch)
+        self.backend = backend
         self.resilience = resilience
 
         self.theta_: np.ndarray | None = None
@@ -169,6 +176,8 @@ class ExaGeoStatModel:
         mle_kwargs.setdefault("resilience", self.resilience)
         if self.batch:
             mle_kwargs.setdefault("batch", True)
+        if self.backend is not None:
+            mle_kwargs.setdefault("backend", self.backend)
         result = fit_mle(
             self.kernel, xo, zo,
             tile_size=self.tile_size, variant=self.variant,
@@ -199,6 +208,7 @@ class ExaGeoStatModel:
             tile_size=self.tile_size, variant=self.variant,
             nugget=self.nugget, cache=self._cache,
             batch=True if self.batch else None,
+            backend=self.backend,
         )
         self.loglik_ = result.value
         return result

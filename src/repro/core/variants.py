@@ -55,6 +55,11 @@ class VariantConfig:
     tile groups, :mod:`repro.tile.batch`); dense results stay
     bit-identical, but it is off by default because deadlines and
     task-level resilience force a fallback to the per-tile executors.
+    ``backend`` picks the factorization engine — ``"auto"`` (the
+    historical routing), ``"sequential"``, ``"thread"``, or
+    ``"process"`` (the shared-memory multiprocess executor,
+    :mod:`repro.runtime.procpool`); all backends produce bit-identical
+    results.
     """
 
     name: str
@@ -75,10 +80,16 @@ class VariantConfig:
     workers: int = 1
     fast_lr: bool = False
     batch: bool = False
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.backend not in ("auto", "sequential", "thread", "process"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected 'auto', "
+                "'sequential', 'thread', or 'process'"
+            )
         if self.mp_mode not in ("adaptive", "band"):
             raise ConfigurationError(f"unknown mp_mode {self.mp_mode!r}")
         if self.structure_mode not in ("rank", "perfmodel"):

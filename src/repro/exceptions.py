@@ -17,6 +17,8 @@ Hierarchy::
     │                                     (FP16 overflow, injected chaos)
     ├── CompressionError(ArithmeticError) low-rank tolerance unreachable
     ├── SchedulingError(RuntimeError)     inconsistent task DAG/schedule
+    │   └── WorkerLostError               a worker process died
+    │                                     (SIGKILL/OOM) mid-execution
     ├── TaskFailedError(RuntimeError)     a simulated task exceeded its
     │                                     transient-failure retry budget
     ├── DeadlineExceededError(TimeoutError)
@@ -122,6 +124,36 @@ class CompressionError(ReproError, ArithmeticError):
 
 class SchedulingError(ReproError, RuntimeError):
     """The task DAG is inconsistent (cycle, missing producer, ...)."""
+
+
+class WorkerLostError(SchedulingError):
+    """A worker *process* of the process-parallel backend died without
+    reporting a result (SIGKILL, OOM kill, hard crash).
+
+    Deliberately *is a* :class:`SchedulingError`: callers that treat a
+    failed parallel factorization as one failed evaluation (MLE
+    drivers, the recovery ladder) keep working unchanged.  Raised only
+    after the surviving workers have been terminated and joined and
+    the shared-memory store unlinked — no leaked processes or
+    segments.
+
+    Attributes
+    ----------
+    rank:
+        The dead worker's rank, or ``None`` when unknown.
+    exitcode:
+        The process exit code (negative = killed by that signal).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: int | None = None,
+        exitcode: int | None = None,
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.exitcode = exitcode
 
 
 class TaskFailedError(ReproError, RuntimeError):

@@ -13,18 +13,31 @@ Components:
 * :mod:`~repro.runtime.comm` / :mod:`~repro.runtime.trace` —
   wire-format volume model and execution traces;
 * :mod:`~repro.runtime.faults` — seeded MTBF fault injection and
-  checkpoint/restart modeling for the simulator.
+  checkpoint/restart modeling for the simulator;
+* :mod:`~repro.runtime.procpool` / :mod:`~repro.runtime.procworker` —
+  the multiprocess shared-memory execution backend (owner-computes
+  tile Cholesky across persistent worker processes);
+* :mod:`~repro.runtime.blasclamp` — BLAS thread-oversubscription
+  guard shared by the threaded and process executors.
 """
 
 from .batchdispatch import execute_cholesky_batched
-from .comm import conversion_count, plan_wire_bytes, tile_wire_bytes
+from .blasclamp import BLAS_THREAD_ENV, blas_clamp_for, clamp_blas_threads
+from .comm import (
+    CommStats,
+    conversion_count,
+    model_comm_volume,
+    plan_wire_bytes,
+    tile_wire_bytes,
+)
 from .dag import build_dag, critical_path_length, validate_schedule
 from .distribution import BlockCyclic2D, square_process_grid
 from .engine import execute_cholesky_tasks, execute_forward_solve_tasks
 from .faults import CheckpointConfig, CrashTimes, FaultModel
 from .gantt import render_gantt, utilization_profile
 from .parallel import ParallelRunReport, execute_cholesky_parallel
-from .scheduler import panel_priorities, upward_ranks
+from .procpool import ProcessPoolEngine
+from .scheduler import panel_priorities, panel_priorities_tasks, upward_ranks
 from .simulator import SimConfig, plan_rank_of, shape_for_task, simulate_tasks
 from .task import TILE_OPS, Task
 from .taskgraph import cholesky_task_count, cholesky_tasks, forward_solve_tasks
@@ -43,12 +56,17 @@ __all__ = [
     "square_process_grid",
     "upward_ranks",
     "panel_priorities",
+    "panel_priorities_tasks",
     "execute_cholesky_tasks",
     "execute_forward_solve_tasks",
     "render_gantt",
     "execute_cholesky_parallel",
     "execute_cholesky_batched",
+    "ProcessPoolEngine",
     "ParallelRunReport",
+    "BLAS_THREAD_ENV",
+    "blas_clamp_for",
+    "clamp_blas_threads",
     "utilization_profile",
     "FaultModel",
     "CheckpointConfig",
@@ -60,6 +78,8 @@ __all__ = [
     "tile_wire_bytes",
     "plan_wire_bytes",
     "conversion_count",
+    "CommStats",
+    "model_comm_volume",
     "ExecutionTrace",
     "TaskRecord",
 ]

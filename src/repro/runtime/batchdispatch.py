@@ -58,6 +58,7 @@ from ..tile.cholesky import CholeskyStats
 from ..tile.matrix import TileMatrix
 from ..tile.precision import Precision
 from . import parallel as _parallel
+from .blasclamp import clamp_blas_threads
 from .parallel import ParallelRunReport
 from .task import Task
 
@@ -108,18 +109,26 @@ def _dependences(
 @lru_cache(maxsize=8)
 def _cholesky_plan(
     nt: int,
-) -> tuple[tuple[Task, ...], dict[int, int], dict[int, list[int]]]:
-    """Task stream + dependence structure for an ``nt x nt`` Cholesky.
+) -> tuple[
+    tuple[Task, ...],
+    dict[int, int],
+    dict[int, list[int]],
+    dict[int, float],
+]:
+    """Task stream + dependence structure + panel priorities for an
+    ``nt x nt`` Cholesky.
 
-    The DAG is a function of ``nt`` alone, so the evaluations of one
-    MLE fit all share it; callers must *copy* the indegree dict before
-    mutating (the successor lists are read-only in the wave loop).
+    Everything here is a function of ``nt`` alone (theta-independent),
+    so the evaluations of one MLE fit all share it; callers must *copy*
+    the indegree dict before mutating (the successor lists and the
+    priority map are read-only in the executors).
     """
+    from .scheduler import panel_priorities_tasks
     from .taskgraph import cholesky_tasks
 
     tasks = tuple(cholesky_tasks(nt))
     indegree, successors = _dependences(tasks)
-    return tasks, indegree, successors
+    return tasks, indegree, successors, panel_priorities_tasks(tasks)
 
 
 @dataclass(frozen=True)
@@ -191,7 +200,7 @@ def execute_cholesky_batched(
     if workers < 1:
         raise SchedulingError("need at least one worker")
     if tasks is None and dag is None:
-        cached_tasks, cached_indegree, successors = _cholesky_plan(matrix.nt)
+        cached_tasks, cached_indegree, successors, _ = _cholesky_plan(matrix.nt)
         tasks = list(cached_tasks)
         indegree = dict(cached_indegree)
     elif dag is not None:
@@ -312,6 +321,10 @@ def execute_cholesky_batched(
         ]
 
     t0 = time.perf_counter()
+    # Oversubscription guard: eff_workers dispatch threads each issuing
+    # BLAS calls must share the physical cores (restored on exit).
+    clamp_cm = clamp_blas_threads(eff_workers)
+    blas_clamp = clamp_cm.__enter__()
     executor = (
         ThreadPoolExecutor(max_workers=eff_workers)
         if eff_workers > 1 else None
@@ -392,6 +405,7 @@ def execute_cholesky_batched(
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
+        clamp_cm.__exit__(None, None, None)
     wall = time.perf_counter() - t0
 
     report = ParallelRunReport(
@@ -403,5 +417,6 @@ def execute_cholesky_batched(
         batches=batches,
         batched_tasks=batched_tasks,
         fallback_tasks=fallback_tasks,
+        blas_clamp=blas_clamp,
     )
     return matrix, report

@@ -51,7 +51,8 @@ from ..tile import kernels as K
 from ..tile.cholesky import CholeskyStats
 from ..tile.matrix import TileMatrix
 from ..tile.tile import LowRankTile, Tile
-from .dag import build_dag
+from .blasclamp import clamp_blas_threads
+from .comm import CommStats
 from .scheduler import panel_priorities
 from .task import Task
 
@@ -92,6 +93,11 @@ class ParallelRunReport:
     #: Tasks that fell back to the per-tile kernels (low-rank or
     #: otherwise non-batchable groups).
     fallback_tasks: int = 0
+    #: Per-worker BLAS thread clamp applied for this run (``None`` when
+    #: no clamp was needed — a single worker keeps the library default).
+    blas_clamp: int | None = None
+    #: Measured cross-owner tile traffic (process backend only).
+    comm: CommStats | None = None
 
 
 def _tile_is_finite(tile: Tile) -> bool:
@@ -137,14 +143,33 @@ def execute_cholesky_parallel(
     """
     if workers < 1:
         raise SchedulingError("need at least one worker")
-    if tasks is None:
-        from .taskgraph import cholesky_tasks
+    if tasks is None and dag is None:
+        # The default path of every likelihood evaluation: dependence
+        # structure AND priority map come from the lru-cached plan
+        # (both are functions of nt alone — theta-independent), so one
+        # MLE fit pays the analysis once, not once per evaluation.
+        from .batchdispatch import _cholesky_plan
 
-        tasks = list(cholesky_tasks(matrix.nt))
-    if dag is None:
-        dag = build_dag(tasks)
+        cached_tasks, cached_indegree, successors, prio = _cholesky_plan(
+            matrix.nt
+        )
+        tasks = list(cached_tasks)
+        indegree = dict(cached_indegree)
+    elif dag is not None:
+        if tasks is None:
+            from .taskgraph import cholesky_tasks
+
+            tasks = list(cholesky_tasks(matrix.nt))
+        indegree = {uid: dag.in_degree(uid) for uid in dag.nodes}
+        successors = {uid: list(dag.successors(uid)) for uid in dag.nodes}
+        prio = panel_priorities(dag)
+    else:
+        from .batchdispatch import _dependences
+        from .scheduler import panel_priorities_tasks
+
+        indegree, successors = _dependences(tuple(tasks))
+        prio = panel_priorities_tasks(tasks)
     task_by_uid = {t.uid: t for t in tasks}
-    prio = panel_priorities(dag)
 
     if chaos is not None and not hasattr(chaos, "perturb_task"):
         from ..resilience.chaos import ChaosInjector
@@ -159,7 +184,6 @@ def execute_cholesky_parallel(
         cancel = CancellationToken()
 
     lock = _make_lock()
-    indegree = {uid: dag.in_degree(uid) for uid in dag.nodes}
     ready: list[tuple[float, int]] = [
         (-prio[uid], uid) for uid, deg in indegree.items() if deg == 0
     ]
@@ -280,7 +304,7 @@ def execute_cholesky_parallel(
                     dispatched = False
                     running -= 1
                     remaining -= 1
-                    for succ in dag.successors(uid):
+                    for succ in successors[uid]:
                         indegree[succ] -= 1
                         if indegree[succ] == 0:
                             heapq.heappush(ready, (-prio[succ], succ))
@@ -302,10 +326,14 @@ def execute_cholesky_parallel(
                     stats.count_batch(tally)
 
     t0 = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(worker_loop) for _ in range(workers)]
-        for f in futures:
-            f.result()
+    # Oversubscription guard: each worker thread issues BLAS calls, so
+    # the per-call BLAS thread count is clamped to cores/workers for
+    # the duration of the pool (restored on exit, no-op at workers=1).
+    with clamp_blas_threads(workers) as blas_clamp:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(worker_loop) for _ in range(workers)]
+            for f in futures:
+                f.result()
     wall = time.perf_counter() - t0
 
     if errors:
@@ -335,5 +363,6 @@ def execute_cholesky_parallel(
         chaos_events=(
             chaos.stats.events - chaos_before if chaos is not None else 0
         ),
+        blas_clamp=blas_clamp,
     )
     return matrix, report

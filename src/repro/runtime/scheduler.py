@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import networkx as nx
 
-__all__ = ["upward_ranks", "panel_priorities"]
+__all__ = ["upward_ranks", "panel_priorities", "panel_priorities_tasks"]
+
+_OP_WEIGHT = {"potrf": 3.0, "trsm": 2.0, "syrk": 1.0, "gemm": 0.0}
 
 
 def upward_ranks(dag: nx.DiGraph, durations: dict[int, float]) -> dict[int, float]:
@@ -26,9 +28,15 @@ def upward_ranks(dag: nx.DiGraph, durations: dict[int, float]) -> dict[int, floa
 def panel_priorities(dag: nx.DiGraph) -> dict[int, float]:
     """PLASMA-style static priority: earlier panels first, POTRF >
     TRSM > SYRK > GEMM within a panel."""
-    op_weight = {"potrf": 3.0, "trsm": 2.0, "syrk": 1.0, "gemm": 0.0}
     out: dict[int, float] = {}
     for uid, data in dag.nodes(data=True):
         task = data["task"]
-        out[uid] = -(task.k * 4.0) + op_weight[task.op]
+        out[uid] = -(task.k * 4.0) + _OP_WEIGHT[task.op]
     return out
+
+
+def panel_priorities_tasks(tasks) -> dict[int, float]:
+    """:func:`panel_priorities` straight from a task stream — the
+    priority depends only on each task's ``(k, op)``, so no DAG is
+    needed; this is what the lru-cached Cholesky plan memoizes."""
+    return {t.uid: -(t.k * 4.0) + _OP_WEIGHT[t.op] for t in tasks}

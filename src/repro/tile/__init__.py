@@ -54,6 +54,13 @@ from .recovery import (
     factor_with_recovery,
 )
 from .refinement import RefinementResult, refine_solve
+from .shm import (
+    SegmentCache,
+    SharedTileStore,
+    TileHandle,
+    leaked_segments,
+    payload_nbytes,
+)
 from .solve import (
     PanelSolver,
     apply_lower,
@@ -122,4 +129,9 @@ __all__ = [
     "condition_estimate",
     "tile_apply",
     "symmetric_matvec",
+    "SharedTileStore",
+    "SegmentCache",
+    "TileHandle",
+    "payload_nbytes",
+    "leaked_segments",
 ]

@@ -102,8 +102,14 @@ class LowRankTile(Tile):
     def __init__(
         self, u: np.ndarray, v: np.ndarray, precision: Precision | None = None
     ):
-        u = np.asarray(u)
-        v = np.asarray(v)
+        # Canonical C-order storage: BLAS picks its loop order (and
+        # therefore its last-bit rounding) from operand layout, so the
+        # factors must land in one canonical layout for results to be
+        # reproducible across engines — in particular the process
+        # backend, whose shared-memory round-trips can only restore a
+        # canonical layout.
+        u = np.ascontiguousarray(u)
+        v = np.ascontiguousarray(v)
         if u.ndim != 2 or v.ndim != 2:
             raise ShapeError("low-rank factors must be 2-D")
         if u.shape[1] != v.shape[1]:
