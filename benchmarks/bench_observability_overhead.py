@@ -1,0 +1,188 @@
+"""Telemetry overhead: tracing must be near-free, off or on.
+
+The observability layer's contract (DESIGN.md §16) mirrors the
+resilience layer's: with ``telemetry=None`` the engines execute the
+exact pre-existing code paths, and with a live
+:class:`~repro.obs.Telemetry` the numerics are bit-identical — spans
+only *observe*.  This bench times the same bounded MLE fit three
+ways —
+
+* ``untraced`` — ``telemetry=None`` (the seed path);
+* ``disabled`` — ``Telemetry(enabled=False)`` (the bundle threads
+  through every engine but records nothing);
+* ``traced``   — a live bundle capturing the full span tree, the
+  per-iteration progress events, and every legacy stats object;
+
+asserts the three optimizer traces are bit-identical (loglik, theta,
+iterate history), that the traced run's Chrome export is a valid
+Perfetto-loadable document, and gates the traced/untraced wall-clock
+ratio at <= 1.10x.  A second case runs one traced
+``backend="process"`` fit and checks the merged timeline spans the
+driver *and* every worker process.
+
+Writes ``benchmarks/out/BENCH_observability_overhead.json``.
+``BENCH_OBS_N`` scales the dataset (default 1800, tile 60 — the
+hot-path size where the committed artifact shows <5% overhead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import fit_mle
+from repro.data import sample_gaussian_field
+from repro.kernels import ExponentialKernel
+from repro.obs import Telemetry
+from repro.ordering import order_points
+
+N = int(os.environ.get("BENCH_OBS_N", "1800"))
+TILE = 60 if N >= 900 else 40
+VARIANT = "mp-dense-tlr"
+REPEATS = 3
+MAX_NFEV = 8
+THETA = np.array([1.0, 0.1])
+#: CI gate: traced / untraced wall clock (generous for timer noise on
+#: small replay sizes; the committed full-size artifact shows <5%).
+MAX_RATIO = 1.10
+
+
+def _dataset():
+    gen = np.random.default_rng(0)
+    x = gen.uniform(size=(N, 2))
+    x = x[order_points(x, "morton")]
+    kern = ExponentialKernel()
+    z = sample_gaussian_field(kern, THETA, x, seed=5)
+    return kern, x, z
+
+
+def _median_fit(kern, x, z, telemetry_factory, repeats=REPEATS):
+    times, result, telemetry = [], None, None
+    for _ in range(repeats):
+        telemetry = telemetry_factory()
+        t0 = time.perf_counter()
+        result = fit_mle(
+            kern, x, z, tile_size=TILE, variant=VARIANT,
+            theta0=THETA, max_nfev=MAX_NFEV, max_iter=MAX_NFEV,
+            cache=True, telemetry=telemetry,
+        )
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times)), result, telemetry
+
+
+def test_observability_overhead(artifact_dir, benchmark):
+    kern, x, z = _dataset()
+
+    t_plain, r_plain, _ = _median_fit(kern, x, z, lambda: None)
+    t_off, r_off, _ = _median_fit(
+        kern, x, z, lambda: Telemetry(enabled=False)
+    )
+    t_traced, r_traced, telemetry = _median_fit(kern, x, z, Telemetry)
+
+    # Bit-identity: tracing observes the fit, it never steers it.
+    assert r_traced.loglik == r_plain.loglik
+    assert r_off.loglik == r_plain.loglik
+    np.testing.assert_array_equal(r_traced.theta, r_plain.theta)
+    np.testing.assert_array_equal(r_off.theta, r_plain.theta)
+    assert r_traced.history == r_plain.history
+    assert r_off.history == r_plain.history
+
+    # The traced run's export must be a loadable Perfetto document.
+    doc = json.loads(json.dumps({
+        "traceEvents": telemetry.chrome_trace_events(),
+        "displayTimeUnit": "ms",
+    }))
+    assert doc["traceEvents"], "traced fit produced an empty trace"
+    iterations = [
+        e for e in telemetry.tracer.sorted_events()
+        if e.name == "mle_iteration"
+    ]
+    assert len(iterations) == r_plain.nfev
+
+    ratio_traced = t_traced / t_plain
+    ratio_off = t_off / t_plain
+    record = {
+        "experiment": "observability_overhead",
+        "n": N,
+        "tile_size": TILE,
+        "variant": VARIANT,
+        "repeats": REPEATS,
+        "max_nfev": MAX_NFEV,
+        "cores": os.cpu_count() or 1,
+        "seconds": {
+            "fit_untraced": round(t_plain, 4),
+            "fit_disabled_bundle": round(t_off, 4),
+            "fit_traced": round(t_traced, 4),
+        },
+        "ratio": {
+            "disabled_over_untraced": round(ratio_off, 4),
+            "traced_over_untraced": round(ratio_traced, 4),
+        },
+        "overhead_fraction_traced": round(ratio_traced - 1.0, 4),
+        "trace": {
+            "spans": len(telemetry.tracer),
+            "events": len(telemetry.tracer.sorted_events()),
+            "metrics": len(telemetry.registry.metrics()),
+            "chrome_events": len(doc["traceEvents"]),
+        },
+        "bit_identical": {
+            "loglik": bool(r_traced.loglik == r_plain.loglik),
+            "history": bool(r_traced.history == r_plain.history),
+        },
+        "gate_max_ratio": MAX_RATIO,
+    }
+    path = artifact_dir / "BENCH_observability_overhead.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n[artifact] {path}\n{json.dumps(record, indent=2)}")
+
+    assert ratio_traced <= MAX_RATIO, (
+        f"traced fit is {ratio_traced:.2f}x the untraced one "
+        f"(gate {MAX_RATIO}x)"
+    )
+    assert ratio_off <= MAX_RATIO, (
+        f"disabled telemetry bundle costs {ratio_off:.2f}x (gate "
+        f"{MAX_RATIO}x)"
+    )
+
+    benchmark(
+        fit_mle, kern, x, z, tile_size=TILE, variant=VARIANT,
+        theta0=THETA, max_nfev=2, max_iter=2, cache=True,
+        telemetry=Telemetry(),
+    )
+
+
+def test_process_backend_merged_trace(artifact_dir):
+    """One traced ``backend="process"`` fit: the merged timeline must
+    span the driver (pid 0) and every worker (pid = rank + 1)."""
+    kern, x, z = _dataset()
+    workers = 2
+    telemetry = Telemetry()
+    result = fit_mle(
+        kern, x, z, tile_size=TILE, variant=VARIANT, theta0=THETA,
+        max_nfev=4, max_iter=4, cache=True, backend="process",
+        workers=workers, telemetry=telemetry,
+    )
+    plain = fit_mle(
+        kern, x, z, tile_size=TILE, variant=VARIANT, theta0=THETA,
+        max_nfev=4, max_iter=4, cache=True, backend="process",
+        workers=workers,
+    )
+    assert result.loglik == plain.loglik
+    assert result.history == plain.history
+
+    pids = {s.pid for s in telemetry.tracer.spans}
+    assert pids == set(range(workers + 1)), (
+        f"merged trace covers pids {sorted(pids)}, expected driver + "
+        f"{workers} workers"
+    )
+    doc = json.loads(json.dumps({
+        "traceEvents": telemetry.chrome_trace_events(),
+    }))
+    names = {
+        e["args"]["name"] for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert "driver" in names and "worker-0" in names, names

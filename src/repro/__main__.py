@@ -12,9 +12,15 @@ Commands
     Print the Fig. 5 dense/TLR crossover analysis for a tile size.
 ``scaling [--nodes N] [--matrix M]``
     Fig. 10-style projection for a weak-correlation problem.
+``profile [--n N] [--tile B] [--variant V] [--backend B] [--workers W]
+[--max-iter K] [--trace PATH] [--prometheus PATH] [--dump PATH]``
+    Profile a seeded fit + predict workload under the unified
+    telemetry layer (DESIGN.md §16): writes a Perfetto-loadable Chrome
+    trace, prints the per-op flamegraph-style breakdown, and
+    optionally dumps the Prometheus exposition / JSON profile.
 ``analyze [--lint PATH ...] [--golden-plans] [--serving] [--comm]
-[--resilience] [--concurrency [PATH ...]] [--sanitize-run] [--json]
-[--rules]``
+[--resilience] [--telemetry] [--concurrency [PATH ...]]
+[--sanitize-run] [--json] [--rules]``
     Verification layer: run the numerical-hygiene linter over source
     paths, the golden-plan suite (every shipped variant at nt in
     {4, 8} through the plan + DAG verifiers), the serving
@@ -24,7 +30,10 @@ Commands
     the simulator's wire-format model byte-for-byte on a dense plan),
     the golden resilience invariants
     (seeded chaos reproducibility, inert-hook bit-identity,
-    degradation ladder, deadline drain), the static lock-discipline
+    degradation ladder, deadline drain), the golden telemetry
+    invariants (``--telemetry``: span-tree well-formedness, metrics /
+    legacy-stats consistency, exporter round-trips, disabled-tracer
+    silence), the static lock-discipline
     analyzer (``--concurrency``, defaulting to the installed package
     sources), and/or the dynamic race sanitizer (``--sanitize-run``:
     a threaded fit + batched predict under seeded chaos with lockset
@@ -131,6 +140,55 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json as _json
+    import time
+
+    from repro import ExaGeoStatModel
+    from repro.data import soil_moisture_surrogate
+    from repro.obs import Telemetry
+
+    n_test = max(20, min(args.n // 4, 200))
+    data = soil_moisture_surrogate(
+        n_train=args.n, n_test=n_test, seed=args.seed
+    )
+    telemetry = Telemetry()
+    model = ExaGeoStatModel(
+        kernel="matern", variant=args.variant, tile_size=args.tile,
+        backend=args.backend, telemetry=telemetry,
+    )
+    fit_kwargs = {}
+    if args.workers is not None:
+        fit_kwargs["workers"] = args.workers
+    print(f"profiling: n={args.n} tile={args.tile} "
+          f"variant={args.variant} backend={args.backend or 'variant'} "
+          f"max_iter={args.max_iter}")
+    t0 = time.perf_counter()
+    model.fit(data.x_train, data.z_train, theta0=data.theta_true,
+              max_iter=args.max_iter, **fit_kwargs)
+    model.predict(data.x_test, return_uncertainty=True)
+    wall = time.perf_counter() - t0
+    print(f"  loglik={model.loglik_:.4f} nfev={model.result_.nfev} "
+          f"wall={wall:.2f}s")
+    print(f"  {len(telemetry.tracer)} span(s), "
+          f"{len(telemetry.tracer.sorted_events())} event(s), "
+          f"{len(telemetry.registry.metrics())} metric(s)")
+    telemetry.write_chrome_trace(args.trace)
+    print(f"  trace -> {args.trace} "
+          "(open in https://ui.perfetto.dev or chrome://tracing)")
+    if args.prometheus:
+        with open(args.prometheus, "w") as fh:
+            fh.write(telemetry.render_prometheus())
+        print(f"  prometheus exposition -> {args.prometheus}")
+    if args.dump:
+        with open(args.dump, "w") as fh:
+            _json.dump(telemetry.profile_dump(), fh, indent=2)
+        print(f"  profile dump -> {args.dump}")
+    print()
+    print(telemetry.render_breakdown())
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import (
         COMM_RULES,
@@ -141,12 +199,14 @@ def _cmd_analyze(args) -> int:
         RACE_RULES,
         RES_RULES,
         SERVE_RULES,
+        TELEM_RULES,
         AnalysisReport,
         Severity,
         check_golden_comm,
         check_golden_plans,
         check_golden_resilience,
         check_golden_serving,
+        check_golden_telemetry,
         check_lock_discipline,
         lint_paths,
         run_sanitized_workload,
@@ -155,17 +215,18 @@ def _cmd_analyze(args) -> int:
     if args.rules:
         for catalog in (
             PLAN_RULES, DAG_RULES, LINT_RULES, SERVE_RULES, COMM_RULES,
-            RES_RULES, LOCK_RULES, RACE_RULES,
+            RES_RULES, TELEM_RULES, LOCK_RULES, RACE_RULES,
         ):
             for rule, text in catalog.items():
                 print(f"  {rule}  {text}")
         return 0
     if not (args.lint or args.golden_plans or args.serving or args.comm
-            or args.resilience or args.concurrency is not None
+            or args.resilience or args.telemetry
+            or args.concurrency is not None
             or args.sanitize_run):
         print("nothing to analyze: pass --lint PATH ..., "
               "--golden-plans, --serving, --comm, --resilience, "
-              "--concurrency, and/or --sanitize-run",
+              "--telemetry, --concurrency, and/or --sanitize-run",
               file=sys.stderr)
         return 2
     report = AnalysisReport()
@@ -179,12 +240,14 @@ def _cmd_analyze(args) -> int:
         report.extend(check_golden_comm())
     if args.resilience:
         report.extend(check_golden_resilience())
+    if args.telemetry:
+        report.extend(check_golden_telemetry())
     if args.concurrency is not None:
         report.extend(
             check_lock_discipline(args.concurrency or None)
         )
     if args.sanitize_run:
-        report.extend(run_sanitized_workload())
+        report.extend(run_sanitized_workload(workers=args.sanitize_workers))
     if args.json:
         print(report.to_json(indent=2))
     else:
@@ -206,6 +269,27 @@ def main(argv: list[str] | None = None) -> int:
     p_s = sub.add_parser("scaling", help="Fig. 10-style projection")
     p_s.add_argument("--nodes", type=int, default=4096)
     p_s.add_argument("--matrix", type=int, default=4_000_000)
+    p_p = sub.add_parser(
+        "profile",
+        help="profile a seeded fit + predict under the telemetry layer",
+    )
+    p_p.add_argument("--n", type=int, default=400,
+                     help="training points of the seeded workload")
+    p_p.add_argument("--tile", type=int, default=64)
+    p_p.add_argument("--variant", default="mp-dense")
+    p_p.add_argument("--backend", default=None,
+                     help="factorization backend (auto / sequential / "
+                          "thread / process; default: the variant's)")
+    p_p.add_argument("--workers", type=int, default=None)
+    p_p.add_argument("--max-iter", type=int, default=8)
+    p_p.add_argument("--seed", type=int, default=20220101)
+    p_p.add_argument("--trace", default="repro_profile_trace.json",
+                     help="Chrome trace-event JSON output path "
+                          "(Perfetto-loadable)")
+    p_p.add_argument("--prometheus", default=None, metavar="PATH",
+                     help="also write the Prometheus text exposition")
+    p_p.add_argument("--dump", default=None, metavar="PATH",
+                     help="also write the JSON profile dump")
     p_a = sub.add_parser("analyze", help="static verification layer")
     p_a.add_argument("--lint", nargs="+", metavar="PATH", default=[],
                      help="lint these files/directories")
@@ -230,10 +314,19 @@ def main(argv: list[str] | None = None) -> int:
                      help="run the static lock-discipline analyzer "
                           "over these files/directories (default: the "
                           "installed repro package sources)")
+    p_a.add_argument("--telemetry", action="store_true",
+                     help="run the golden telemetry invariants (span-"
+                          "tree well-formedness, metrics consistency, "
+                          "exporter round-trips, disabled-tracer "
+                          "silence)")
     p_a.add_argument("--sanitize-run", action="store_true",
                      help="drive a threaded fit + batched predict "
                           "under seeded chaos with the dynamic race "
-                          "sanitizer enabled")
+                          "sanitizer enabled (the workload is traced, "
+                          "so the telemetry buffers are checked too)")
+    p_a.add_argument("--sanitize-workers", type=int, default=4,
+                     metavar="N",
+                     help="thread-pool width of the sanitized workload")
     p_a.add_argument("--json", action="store_true",
                      help="machine-readable JSON output")
     p_a.add_argument("--rules", action="store_true",
@@ -246,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         "selfcheck": _cmd_selfcheck,
         "crossover": _cmd_crossover,
         "scaling": _cmd_scaling,
+        "profile": _cmd_profile,
         "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)

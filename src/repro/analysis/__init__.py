@@ -55,6 +55,7 @@ from .sanitize import (
     sanitized_access,
     sanitized_lock,
 )
+from .telemetry import TELEM_RULES, check_golden_telemetry
 
 __all__ = [
     "AnalysisReport",
@@ -81,6 +82,7 @@ __all__ = [
     "check_golden_serving",
     "check_golden_comm",
     "check_golden_resilience",
+    "check_golden_telemetry",
     "GOLDEN_VARIANTS",
     "GOLDEN_NTS",
     "PLAN_RULES",
@@ -89,6 +91,7 @@ __all__ = [
     "SERVE_RULES",
     "COMM_RULES",
     "RES_RULES",
+    "TELEM_RULES",
     "LOCK_RULES",
     "RACE_RULES",
 ]

@@ -522,6 +522,7 @@ def _install_patches() -> None:
     from concurrent.futures import Future, ThreadPoolExecutor
 
     from ..core.serving import PredictionEngine
+    from ..obs import tracer as obs_tracer
     from ..resilience.health import CircuitBreaker
     from ..runtime import parallel
     from ..tile import batch as tile_batch
@@ -538,6 +539,12 @@ def _install_patches() -> None:
     _patch(
         tile_batch, "_make_lock",
         lambda: sanitized_lock(name="batch.scratch"),
+    )
+
+    # --- the telemetry tracer's span/event buffers ---------------------
+    _patch(
+        obs_tracer, "_make_lock",
+        lambda: sanitized_lock(name="obs.tracer"),
     )
 
     # --- tile accesses (dependence-ordered: RACE003 exempt) ------------
@@ -722,6 +729,11 @@ def run_sanitized_workload(
     shared :class:`~repro.tile.batch.ScratchPool`.  Chaos schedules
     are keyed on ``(seed, site, attempt)``, so the workload — and any
     finding it produces — is deterministic at a fixed seed.
+
+    The fit and the serving calls run *traced* (a live
+    :class:`~repro.obs.Telemetry` built after the sanitizer installed
+    its seams), so the tracer's span/event buffers — appended to from
+    every worker thread — are themselves under race detection.
     """
     import numpy as np
 
@@ -730,6 +742,7 @@ def run_sanitized_workload(
     from ..core.serving import PredictionEngine
     from ..exceptions import ChaosError
     from ..kernels import MaternKernel
+    from ..obs import Telemetry
     from ..resilience import ChaosConfig, ResilienceConfig, RetryPolicy
     from ..tile.geometry import GeometryCache
 
@@ -745,6 +758,10 @@ def run_sanitized_workload(
 
     state = enable_sanitizer()
     try:
+        # Constructed after enable_sanitizer() so the tracer's buffer
+        # lock is a sanitized lock: every worker-thread span append in
+        # the traced workload below is a recorded, checkable access.
+        telemetry = Telemetry()
         result = loglikelihood(
             kernel, theta, x, z, tile_size=tile,
             variant="mp-dense-tlr-recover", nugget=1.0e-8,
@@ -753,6 +770,7 @@ def run_sanitized_workload(
                 retry=retry,
                 chaos=ChaosConfig(seed=seed, tile_nan_rate=0.05),
             ),
+            telemetry=telemetry,
         )
         engine = PredictionEngine(
             kernel, theta, x, z, result.factor,
@@ -761,6 +779,7 @@ def run_sanitized_workload(
                 retry=retry,
                 chaos=ChaosConfig(seed=seed, batch_fail_rate=0.2),
             ),
+            telemetry=telemetry,
         )
         engine.predict(x_test, return_uncertainty=True)
         engine.predict(x_test, return_uncertainty=True)  # LRU hits
@@ -805,6 +824,7 @@ def run_sanitized_workload(
         f"{stats.events} access event(s) over {stats.variables} "
         f"variable(s), {stats.locks} lock(s), {stats.threads} "
         f"thread(s), {stats.forks} fork/join edge(s); "
+        f"{len(telemetry.tracer)} span(s) traced; "
         f"{len(report.errors)} race(s)",
     ))
     return report

@@ -65,6 +65,11 @@ class EvaluationEngine:
     workers are spawned once and reused by every evaluation — call
     :meth:`close` (or use the engine as a context manager) to stop
     them.  All backends return bit-identical results.
+
+    ``telemetry`` (a :class:`~repro.obs.Telemetry`, default ``None``)
+    threads span tracing and metrics through every evaluation; after
+    each one the engine's :class:`EngineStats` gauges are refreshed in
+    the bundle's registry.
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class EvaluationEngine:
         resilience: ResilienceConfig | None = None,
         batch: bool | None = None,
         backend: str | None = None,
+        telemetry=None,
     ):
         self.cfg = get_variant(variant)
         self.kernel = kernel
@@ -95,6 +101,7 @@ class EvaluationEngine:
         self.fast_lr = self.cfg.fast_lr if fast_lr is None else bool(fast_lr)
         self.batch = self.cfg.batch if batch is None else bool(batch)
         self.backend = self.cfg.backend if backend is None else str(backend)
+        self.telemetry = telemetry
         self._procpool = None
         if self.backend == "process":
             from ..runtime.procpool import ProcessPoolEngine
@@ -137,6 +144,7 @@ class EvaluationEngine:
                 resilience=self.resilience, deadline=deadline,
                 batch=self.batch,
                 backend=self.backend, procpool=self._procpool,
+                telemetry=self.telemetry,
             )
         except Exception:
             self._failures += 1
@@ -148,6 +156,8 @@ class EvaluationEngine:
             self._recoveries += 1
         if result.report.ranks:
             self.rank_hints.update(result.report.ranks)
+        if self.telemetry is not None:
+            self.telemetry.record_engine_stats(self.stats())
         return result
 
     def close(self) -> None:

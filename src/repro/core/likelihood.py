@@ -24,6 +24,7 @@ from ..exceptions import (
     ShapeError,
 )
 from ..kernels.base import CovarianceKernel
+from ..obs.telemetry import maybe_span
 from ..resilience import Deadline, ResilienceConfig
 from ..resilience.validate import require_finite
 from ..tile.assembly import AssemblyReport, build_planned_covariance
@@ -88,6 +89,38 @@ def _factor_planned(
     batch: bool = False,
     backend: str = "auto",
     procpool=None,
+    telemetry=None,
+) -> tuple[TileMatrix, CholeskyStats]:
+    """Factor a planned covariance under a ``"factorize"`` span; see
+    :func:`_factor_planned_impl` for the backend routing contract.
+    ``telemetry`` flows into the executors (per-task spans, merged
+    worker timelines) and receives each run's
+    :class:`~repro.runtime.parallel.ParallelRunReport` metrics."""
+    with maybe_span(
+        telemetry, "factorize", nt=matrix.nt, backend=backend,
+        workers=workers, batch=bool(batch),
+    ):
+        return _factor_planned_impl(
+            matrix, tile_tol=tile_tol, max_rank=max_rank,
+            fp16_accumulate_fp32=fp16_accumulate_fp32, workers=workers,
+            resilience=resilience, deadline=deadline, batch=batch,
+            backend=backend, procpool=procpool, telemetry=telemetry,
+        )
+
+
+def _factor_planned_impl(
+    matrix: TileMatrix,
+    *,
+    tile_tol: float,
+    max_rank: int | None,
+    fp16_accumulate_fp32: bool,
+    workers: int,
+    resilience=None,
+    deadline=None,
+    batch: bool = False,
+    backend: str = "auto",
+    procpool=None,
+    telemetry=None,
 ) -> tuple[TileMatrix, CholeskyStats]:
     """Factor a planned covariance: sequentially, on the threaded DAG
     executor, on the batched homogeneous-group dispatcher, or on the
@@ -149,6 +182,7 @@ def _factor_planned(
                 chaos=None if resilience is None
                 else resilience.resolve_chaos(),
                 batch=batch,
+                telemetry=telemetry,
             )
         except SchedulingError as exc:
             cause = exc.__cause__
@@ -158,6 +192,8 @@ def _factor_planned(
         finally:
             if ephemeral:
                 engine.close()
+        if telemetry is not None:
+            telemetry.record_run_report(run)
         return factored, run.stats
     if backend == "sequential":
         workers = 1
@@ -178,7 +214,10 @@ def _factor_planned(
             tile_tol=tile_tol,
             max_rank=max_rank,
             fp16_accumulate_fp32=fp16_accumulate_fp32,
+            telemetry=telemetry,
         )
+        if telemetry is not None:
+            telemetry.record_run_report(run)
         return factored, run.stats
     if (
         backend != "thread" and workers <= 1
@@ -202,12 +241,15 @@ def _factor_planned(
             deadline=deadline,
             retry=None if resilience is None else resilience.retry,
             chaos=None if resilience is None else resilience.resolve_chaos(),
+            telemetry=telemetry,
         )
     except SchedulingError as exc:
         cause = exc.__cause__
         if isinstance(cause, NotPositiveDefiniteError):
             raise cause from exc
         raise
+    if telemetry is not None:
+        telemetry.record_run_report(run)
     return factored, run.stats
 
 
@@ -230,6 +272,7 @@ def loglikelihood(
     batch: bool | None = None,
     backend: str | None = None,
     procpool=None,
+    telemetry=None,
 ) -> LikelihoodResult:
     """Evaluate Eq. (1) through the tiled Cholesky pipeline.
 
@@ -264,6 +307,13 @@ def loglikelihood(
     :class:`~repro.runtime.procpool.ProcessPoolEngine` so repeated
     ``backend="process"`` evaluations reuse one worker pool.  Every
     backend returns bit-identical results.
+
+    ``telemetry`` (a :class:`~repro.obs.Telemetry`) wraps the
+    evaluation in a ``"loglikelihood"`` span with ``"generate"`` /
+    ``"compress"`` / ``"factorize"`` / ``"solve"`` children, and
+    records the evaluation's :class:`CholeskyStats` into the metrics
+    registry.  Traced evaluations are bit-identical to untraced ones
+    (pinned by tests and the overhead benchmark).
     """
     cfg = get_variant(variant)
     if resilience is not None:
@@ -283,53 +333,63 @@ def loglikelihood(
     hotpath = dict(
         geometry=geometry, cache=cache, rank_hints=rank_hints,
         sketch=fast, workers=nworkers, batch=use_batch,
+        telemetry=telemetry,
     )
     recovery: RecoveryReport | None = None
-    if cfg.recovery is not None:
+    with maybe_span(
+        telemetry, "loglikelihood", variant=cfg.name, n=z.shape[0],
+        backend=use_backend, workers=nworkers,
+    ):
+        if cfg.recovery is not None:
 
-        def rebuild(**overrides):
-            extra = overrides.pop("extra_nugget", 0.0)
-            return build_planned_covariance(
-                kernel, theta, x, tile_size, nugget=nugget + extra,
-                **overrides, **hotpath, **cfg.assembly_kwargs(),
-            )
+            def rebuild(**overrides):
+                extra = overrides.pop("extra_nugget", 0.0)
+                return build_planned_covariance(
+                    kernel, theta, x, tile_size, nugget=nugget + extra,
+                    **overrides, **hotpath, **cfg.assembly_kwargs(),
+                )
 
-        def factor_fn(matrix, *, tile_tol):
-            return _factor_planned(
-                matrix, tile_tol=tile_tol, max_rank=max_rank,
-                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-                workers=nworkers,
-                resilience=resilience, deadline=deadline,
-                batch=use_batch, backend=use_backend, procpool=procpool,
-            )
+            def factor_fn(matrix, *, tile_tol):
+                return _factor_planned(
+                    matrix, tile_tol=tile_tol, max_rank=max_rank,
+                    fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                    workers=nworkers,
+                    resilience=resilience, deadline=deadline,
+                    batch=use_batch, backend=use_backend,
+                    procpool=procpool, telemetry=telemetry,
+                )
 
-        with use_fast_lr(fast):
-            factor, stats, report, rec = factor_with_recovery(
-                rebuild,
-                policy=cfg.recovery,
-                max_rank=max_rank,
-                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-                factor_fn=factor_fn,
+            with use_fast_lr(fast):
+                factor, stats, report, rec = factor_with_recovery(
+                    rebuild,
+                    policy=cfg.recovery,
+                    max_rank=max_rank,
+                    fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                    factor_fn=factor_fn,
+                )
+            recovery = rec if rec.actions else None
+        else:
+            matrix, report = build_planned_covariance(
+                kernel, theta, x, tile_size, nugget=nugget,
+                **hotpath, **cfg.assembly_kwargs(),
             )
-        recovery = rec if rec.actions else None
-    else:
-        matrix, report = build_planned_covariance(
-            kernel, theta, x, tile_size, nugget=nugget,
-            **hotpath, **cfg.assembly_kwargs(),
-        )
-        with use_fast_lr(fast):
-            factor, stats = _factor_planned(
-                matrix, tile_tol=report.tile_tol, max_rank=max_rank,
-                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-                workers=nworkers,
-                resilience=resilience, deadline=deadline,
-                batch=use_batch, backend=use_backend, procpool=procpool,
-            )
-    logdet = tile_logdet(factor)
-    y = forward_solve(factor, z)
-    quad = float(y @ y)
+            with use_fast_lr(fast):
+                factor, stats = _factor_planned(
+                    matrix, tile_tol=report.tile_tol, max_rank=max_rank,
+                    fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                    workers=nworkers,
+                    resilience=resilience, deadline=deadline,
+                    batch=use_batch, backend=use_backend,
+                    procpool=procpool, telemetry=telemetry,
+                )
+        with maybe_span(telemetry, "solve", n=z.shape[0]):
+            logdet = tile_logdet(factor)
+            y = forward_solve(factor, z)
+            quad = float(y @ y)
     n = z.shape[0]
     value = -0.5 * n * _LOG_2PI - 0.5 * logdet - 0.5 * quad
+    if telemetry is not None:
+        telemetry.record_cholesky_stats(stats)
     return LikelihoodResult(
         value=value,
         logdet=logdet,
@@ -362,6 +422,7 @@ def loglikelihood_replicated(
     batch: bool | None = None,
     backend: str | None = None,
     procpool=None,
+    telemetry=None,
 ) -> np.ndarray:
     """Log-likelihoods of many independent replicates sharing one
     location set (the Fig. 6 protocol: 100 synthetic fields at the same
@@ -398,49 +459,58 @@ def loglikelihood_replicated(
     hotpath = dict(
         geometry=geometry, cache=cache, rank_hints=rank_hints,
         sketch=fast, workers=nworkers, batch=use_batch,
+        telemetry=telemetry,
     )
-    if cfg.recovery is not None:
+    with maybe_span(
+        telemetry, "loglikelihood_replicated", variant=cfg.name,
+        n=z.shape[1], reps=z.shape[0], backend=use_backend,
+    ):
+        if cfg.recovery is not None:
 
-        def rebuild(**overrides):
-            extra = overrides.pop("extra_nugget", 0.0)
-            return build_planned_covariance(
-                kernel, theta, x, tile_size, nugget=nugget + extra,
-                **overrides, **hotpath, **cfg.assembly_kwargs(),
-            )
+            def rebuild(**overrides):
+                extra = overrides.pop("extra_nugget", 0.0)
+                return build_planned_covariance(
+                    kernel, theta, x, tile_size, nugget=nugget + extra,
+                    **overrides, **hotpath, **cfg.assembly_kwargs(),
+                )
 
-        def factor_fn(matrix, *, tile_tol):
-            return _factor_planned(
-                matrix, tile_tol=tile_tol, max_rank=max_rank,
-                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-                workers=nworkers,
-                resilience=resilience, deadline=deadline,
-                batch=use_batch, backend=use_backend, procpool=procpool,
-            )
+            def factor_fn(matrix, *, tile_tol):
+                return _factor_planned(
+                    matrix, tile_tol=tile_tol, max_rank=max_rank,
+                    fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                    workers=nworkers,
+                    resilience=resilience, deadline=deadline,
+                    batch=use_batch, backend=use_backend,
+                    procpool=procpool, telemetry=telemetry,
+                )
 
-        with use_fast_lr(fast):
-            factor, _, report, _ = factor_with_recovery(
-                rebuild,
-                policy=cfg.recovery,
-                max_rank=max_rank,
-                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-                factor_fn=factor_fn,
+            with use_fast_lr(fast):
+                factor, _, report, _ = factor_with_recovery(
+                    rebuild,
+                    policy=cfg.recovery,
+                    max_rank=max_rank,
+                    fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                    factor_fn=factor_fn,
+                )
+        else:
+            matrix, report = build_planned_covariance(
+                kernel, theta, x, tile_size, nugget=nugget,
+                **hotpath, **cfg.assembly_kwargs(),
             )
-    else:
-        matrix, report = build_planned_covariance(
-            kernel, theta, x, tile_size, nugget=nugget,
-            **hotpath, **cfg.assembly_kwargs(),
-        )
-        with use_fast_lr(fast):
-            factor, _ = _factor_planned(
-                matrix, tile_tol=report.tile_tol, max_rank=max_rank,
-                fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
-                workers=nworkers,
-                resilience=resilience, deadline=deadline,
-                batch=use_batch, backend=use_backend, procpool=procpool,
-            )
-    logdet = tile_logdet(factor)
-    y = forward_solve(factor, z.T)  # (n, reps)
-    quads = np.einsum("ij,ij->j", y, y)
+            with use_fast_lr(fast):
+                factor, _ = _factor_planned(
+                    matrix, tile_tol=report.tile_tol, max_rank=max_rank,
+                    fp16_accumulate_fp32=cfg.fp16_accumulate_fp32,
+                    workers=nworkers,
+                    resilience=resilience, deadline=deadline,
+                    batch=use_batch, backend=use_backend,
+                    procpool=procpool, telemetry=telemetry,
+                )
+        with maybe_span(telemetry, "solve", n=z.shape[1],
+                        reps=z.shape[0]):
+            logdet = tile_logdet(factor)
+            y = forward_solve(factor, z.T)  # (n, reps)
+            quads = np.einsum("ij,ij->j", y, y)
     n = z.shape[1]
     return -0.5 * n * _LOG_2PI - 0.5 * logdet - 0.5 * quads
 

@@ -28,6 +28,7 @@ from ..exceptions import (
     ParameterError,
 )
 from ..kernels.base import CovarianceKernel
+from ..obs.telemetry import maybe_span
 from ..optim.bounds import BoundTransform
 from ..optim.neldermead import nelder_mead
 from ..resilience import Deadline, ResilienceConfig, degradation_steps
@@ -106,6 +107,7 @@ def fit_mle(
     resilience: ResilienceConfig | None = None,
     batch: bool | None = None,
     backend: str | None = None,
+    telemetry=None,
 ) -> MLEResult:
     """Fit kernel parameters by maximum likelihood.
 
@@ -150,6 +152,14 @@ def fit_mle(
     :class:`~repro.resilience.Deadline` inside each factorization, so
     a single long evaluation aborts cleanly (pool drained, no leaked
     threads) instead of overshooting.
+
+    ``telemetry`` (a :class:`~repro.obs.Telemetry`, default ``None``)
+    profiles the fit: the whole optimization runs inside a
+    ``"fit_mle"`` span, every likelihood evaluation emits its own span
+    tree, and each iteration posts an ``"mle_iteration"`` progress
+    event carrying the log-likelihood, theta, the tile-rank histogram,
+    and the precision mix.  ``telemetry=None`` (the default) executes
+    exactly the untraced code path.
     """
     cfg = get_variant(variant)
     require_finite("x", x)
@@ -174,6 +184,7 @@ def fit_mle(
             kernel, x, z, tile_size=tile_size, variant=step_cfg,
             nugget=nugget, cache=cache, workers=workers, fast_lr=fast_lr,
             resilience=resilience, batch=batch, backend=backend,
+            telemetry=telemetry,
         )
         failures = 0
         recoveries: list[RecoveryReport] = []
@@ -203,6 +214,23 @@ def fit_mle(
                 return np.inf
             if result.recovery is not None:
                 recoveries.append(result.recovery)
+            if telemetry is not None:
+                rank_hist: dict[int, int] = {}
+                for r in result.report.ranks.values():
+                    rank_hist[int(r)] = rank_hist.get(int(r), 0) + 1
+                prec_mix: dict[str, int] = {}
+                for p in result.report.plan.precisions.values():
+                    name = getattr(p, "name", str(p)).lower()
+                    prec_mix[name] = prec_mix.get(name, 0) + 1
+                telemetry.event(
+                    "mle_iteration",
+                    nfev=nfev_total,
+                    loglik=float(result.value),
+                    theta=[float(v) for v in theta],
+                    rank_hist=rank_hist,
+                    precision_mix=prec_mix,
+                    variant=step_cfg.name,
+                )
             if not np.isfinite(result.value):
                 failures += 1
                 return np.inf
@@ -273,38 +301,42 @@ def fit_mle(
     all_failures = 0
     all_recoveries: list[RecoveryReport] = []
     result: MLEResult | None = None
-    for rung, step_cfg in enumerate(ladder):
-        budget_spent = (max_nfev is not None and nfev_total >= max_nfev) or (
-            deadline is not None and deadline.expired
-        )
-        if result is not None and budget_spent:
-            break
-        reason = None if result is None else unhealthy_reason(result)
-        if result is not None and reason is None:
-            break  # healthy — no (further) downgrade needed
-        try:
-            result, engine = run_fit(step_cfg)
-        except _BudgetExhausted as stop:
-            if result is None:
-                raise ParameterError(
-                    f"evaluation budget ({stop.reason}) exhausted before "
-                    "any successful likelihood evaluation"
-                ) from None
-            result.stopped_on = result.stopped_on or stop.reason
-            break
-        degradation.variant_path.append(step_cfg.name)
-        degradation.retries += engine.health().retries
-        engine.close()  # rung done: stop any process-backend workers
-        all_failures += result.failed_evaluations
-        all_recoveries.extend(result.recovery_reports)
-        if rung > 0:
-            degradation.attempts += 1
-            degradation.actions.append(RecoveryAction(
-                step="downgrade",
-                tile_index=None,
-                detail=f"refit under {step_cfg.name}: {reason}",
-                succeeded=unhealthy_reason(result) is None,
-            ))
+    with maybe_span(
+        telemetry, "fit_mle", variant=cfg.name,
+        n=int(np.asarray(z).shape[-1]), tile_size=int(tile_size),
+    ):
+        for rung, step_cfg in enumerate(ladder):
+            budget_spent = (
+                max_nfev is not None and nfev_total >= max_nfev
+            ) or (deadline is not None and deadline.expired)
+            if result is not None and budget_spent:
+                break
+            reason = None if result is None else unhealthy_reason(result)
+            if result is not None and reason is None:
+                break  # healthy — no (further) downgrade needed
+            try:
+                result, engine = run_fit(step_cfg)
+            except _BudgetExhausted as stop:
+                if result is None:
+                    raise ParameterError(
+                        f"evaluation budget ({stop.reason}) exhausted "
+                        "before any successful likelihood evaluation"
+                    ) from None
+                result.stopped_on = result.stopped_on or stop.reason
+                break
+            degradation.variant_path.append(step_cfg.name)
+            degradation.retries += engine.health().retries
+            engine.close()  # rung done: stop any process-backend workers
+            all_failures += result.failed_evaluations
+            all_recoveries.extend(result.recovery_reports)
+            if rung > 0:
+                degradation.attempts += 1
+                degradation.actions.append(RecoveryAction(
+                    step="downgrade",
+                    tile_index=None,
+                    detail=f"refit under {step_cfg.name}: {reason}",
+                    succeeded=unhealthy_reason(result) is None,
+                ))
 
     assert result is not None
     degradation.recovered = bool(degradation.actions) and (

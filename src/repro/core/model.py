@@ -96,6 +96,13 @@ class ExaGeoStatModel:
         both fitting (task retries, variant degradation, chaos) and
         serving (batch retries, circuit breaker).  ``None`` keeps every
         hook inert — results are bit-identical to the unhardened paths.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` shared by fitting and
+        serving: fits run inside a ``"fit_mle"`` span with
+        per-iteration progress events, predictions inside ``"predict"``
+        spans, and every legacy stats object lands in the bundle's
+        metrics registry.  ``None`` (the default) keeps all paths
+        untraced and bit-identical to before.
     """
 
     def __init__(
@@ -109,6 +116,7 @@ class ExaGeoStatModel:
         batch: bool = False,
         backend: str | None = None,
         resilience: ResilienceConfig | None = None,
+        telemetry=None,
     ):
         self.kernel = _resolve_kernel(kernel)
         self.variant = get_variant(variant)
@@ -118,6 +126,7 @@ class ExaGeoStatModel:
         self.batch = bool(batch)
         self.backend = backend
         self.resilience = resilience
+        self.telemetry = telemetry
 
         self.theta_: np.ndarray | None = None
         self.loglik_: float | None = None
@@ -174,6 +183,7 @@ class ExaGeoStatModel:
         xo, zo = self._ordered(x, z)
         mle_kwargs.setdefault("cache", self._cache)
         mle_kwargs.setdefault("resilience", self.resilience)
+        mle_kwargs.setdefault("telemetry", self.telemetry)
         if self.batch:
             mle_kwargs.setdefault("batch", True)
         if self.backend is not None:
@@ -209,6 +219,7 @@ class ExaGeoStatModel:
             nugget=self.nugget, cache=self._cache,
             batch=True if self.batch else None,
             backend=self.backend,
+            telemetry=self.telemetry,
         )
         self.loglik_ = result.value
         return result
@@ -240,6 +251,7 @@ class ExaGeoStatModel:
             self._engine = PredictionEngine(
                 self.kernel, self.theta_, self._x, self._z, factor,
                 cache=self._cache, resilience=self.resilience,
+                telemetry=self.telemetry,
             )
             self._engine_key = key
             self._engine_builds += 1

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -36,6 +37,8 @@ from ..config import PREDICT_BATCH, SERVING_CROSS_CACHE_BYTES
 from ..exceptions import ShapeError
 from ..kernels.base import CovarianceKernel
 from ..kernels.distance import as_locations
+from ..obs.telemetry import maybe_span
+from ..obs.tracer import current_span_id
 from ..resilience import (
     CancellationToken,
     CircuitBreaker,
@@ -114,6 +117,12 @@ class PredictionEngine:
         consecutive-failure circuit breaker trips the cross-value LRU
         to a safe rebuild (see :meth:`health`).  ``None`` keeps every
         hook inert.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`: each :meth:`predict`
+        call runs inside a ``"predict"`` span with per-batch child
+        spans, and the engine's :class:`ServingStats` /
+        :meth:`health` snapshots are refreshed in the registry after
+        every call.  ``None`` keeps the untraced path untouched.
     """
 
     def __init__(
@@ -129,6 +138,7 @@ class PredictionEngine:
         workers: int = 1,
         cross_cache_bytes: int = SERVING_CROSS_CACHE_BYTES,
         resilience: ResilienceConfig | None = None,
+        telemetry=None,
     ):
         self.kernel = kernel
         self.theta = kernel.validate_theta(theta)
@@ -164,6 +174,7 @@ class PredictionEngine:
         self._failed_calls = 0
         self._batch_retries = 0
 
+        self.telemetry = telemetry
         self.resilience = None if resilience is None else resilience.bind()
         self._retry = None if self.resilience is None else self.resilience.retry
         self._chaos = (
@@ -361,44 +372,69 @@ class PredictionEngine:
         mean = np.empty(m, dtype=np.float64)
         variance = np.empty(m, dtype=np.float64) if return_uncertainty else None
         spans = [(s, min(s + width, m)) for s in range(0, m, width)]
+        telemetry = self.telemetry
+        spans_on = telemetry is not None and telemetry.tracer.enabled
 
-        def run(span: tuple[int, int]) -> None:
-            cancel.check("predict batch")
-            if deadline is not None:
-                deadline.check("predict batch")
-            start, stop = span
-            mb, vb = self._serve_batch(
-                start, x_test[start:stop], return_uncertainty, use_cache=True
-            )
-            mean[start:stop] = mb
-            if variance is not None:
-                variance[start:stop] = vb
+        with maybe_span(
+            telemetry, "predict", m=m, batches=len(spans),
+            workers=nworkers, uncertainty=bool(return_uncertainty),
+        ):
+            # Batches run on pool threads, which do not inherit the
+            # caller's contextvars — capture the parent span id here.
+            parent_sid = current_span_id() if spans_on else None
 
-        try:
-            if nworkers > 1 and len(spans) > 1:
-                with ThreadPoolExecutor(max_workers=nworkers) as pool:
-                    futures = [pool.submit(run, span) for span in spans]
-                    try:
-                        for fut in as_completed(futures):
-                            fut.result()  # first error propagates
-                    except BaseException as exc:
-                        # Poison the queue: queued batches see the token
-                        # and return immediately; the context manager
-                        # joins every worker before re-raising.
-                        cancel.cancel(f"predict failed: {exc!r}")
-                        raise
-            else:
-                for span in spans:
-                    run(span)
-        except Exception:
+            def run(span: tuple[int, int]) -> None:
+                cancel.check("predict batch")
+                if deadline is not None:
+                    deadline.check("predict batch")
+                start, stop = span
+                t_start = time.perf_counter() if spans_on else 0.0
+                mb, vb = self._serve_batch(
+                    start, x_test[start:stop], return_uncertainty,
+                    use_cache=True,
+                )
+                if spans_on:
+                    telemetry.tracer.add_span(
+                        "predict_batch", t_start, time.perf_counter(),
+                        parent=parent_sid, tid=threading.get_ident(),
+                        attrs={"start": start, "stop": stop},
+                    )
+                mean[start:stop] = mb
+                if variance is not None:
+                    variance[start:stop] = vb
+
+            try:
+                if nworkers > 1 and len(spans) > 1:
+                    with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                        futures = [pool.submit(run, span) for span in spans]
+                        try:
+                            for fut in as_completed(futures):
+                                fut.result()  # first error propagates
+                        except BaseException as exc:
+                            # Poison the queue: queued batches see the
+                            # token and return immediately; the context
+                            # manager joins every worker before
+                            # re-raising.
+                            cancel.cancel(f"predict failed: {exc!r}")
+                            raise
+                else:
+                    for span in spans:
+                        run(span)
+            except Exception:
+                with self._lock:
+                    self._failed_calls += 1
+                self._breaker.record_failure()
+                if telemetry is not None:
+                    telemetry.record_serving_stats(self.stats())
+                    telemetry.record_health(self.health())
+                raise
+            self._breaker.record_success()
             with self._lock:
-                self._failed_calls += 1
-            self._breaker.record_failure()
-            raise
-        self._breaker.record_success()
-        with self._lock:
-            self._predict_calls += 1
-            self._predictions += m
+                self._predict_calls += 1
+                self._predictions += m
+        if telemetry is not None:
+            telemetry.record_serving_stats(self.stats())
+            telemetry.record_health(self.health())
         return PredictionResult(mean=mean, variance=variance)
 
     def predict_iter(

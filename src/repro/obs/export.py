@@ -1,0 +1,261 @@
+"""Telemetry exporters: Perfetto (Chrome trace events), Prometheus
+text exposition, and a JSON profile dump.
+
+The Chrome trace-event export follows the same conventions as the
+simulator's :meth:`repro.runtime.trace.ExecutionTrace.to_chrome_trace`
+— complete (``ph: "X"``) events with microsecond ``ts``/``dur``,
+``pid`` per process, ``tid`` per thread — so simulator traces and real
+runs render identically in Perfetto / ``chrome://tracing``.  The
+driver process is pid 0; merged `ProcessPoolEngine` worker spans keep
+their rank-derived pid (rank + 1), giving one timeline spanning parent
+and workers.
+
+The Prometheus export is the plain text exposition format (``# HELP``
+/ ``# TYPE`` headers, label-set samples, histogram ``_bucket`` /
+``_sum`` / ``_count`` triples) — scrape-able as-is from a file or a
+trivial HTTP handler.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import defaultdict
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "render_prometheus",
+    "profile_dump",
+    "op_breakdown",
+    "render_breakdown",
+]
+
+
+def _tid_map(spans, events) -> dict:
+    """Remap raw thread idents to small per-process ids (Perfetto
+    renders tid as a lane; 0 = the process's first-seen thread)."""
+    mapping: dict = {}
+    for record in spans:
+        key = (record.pid, record.tid)
+        if key not in mapping:
+            mapping[key] = len([k for k in mapping if k[0] == record.pid])
+    for record in events:
+        key = (record.pid, record.tid)
+        if key not in mapping:
+            mapping[key] = len([k for k in mapping if k[0] == record.pid])
+    return mapping
+
+
+def chrome_trace_events(tracer: Tracer) -> list:
+    """Chrome trace-event list (the ``traceEvents`` payload)."""
+    spans = tracer.sorted_spans()
+    span_events = tracer.sorted_events()
+    origin = tracer.origin()
+    tids = _tid_map(spans, span_events)
+    events = []
+    pids = sorted({s.pid for s in spans} | {e.pid for e in span_events})
+    for pid in pids:
+        name = "driver" if pid == 0 else f"worker-{pid - 1}"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    for (pid, _raw), tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"thread-{tid}"},
+        })
+    for s in spans:
+        args = {k: v for k, v in s.attrs.items()}
+        if s.parent is not None:
+            args["parent_span"] = s.parent
+        args["span_id"] = s.sid
+        events.append({
+            "name": s.name,
+            "ph": "X",
+            "ts": (s.start - origin) * 1e6,
+            "dur": max(s.end - s.start, 0.0) * 1e6,
+            "pid": s.pid,
+            "tid": tids[(s.pid, s.tid)],
+            "args": args,
+        })
+    for e in span_events:
+        events.append({
+            "name": e.name,
+            "ph": "i",
+            "s": "g",
+            "ts": (e.ts - origin) * 1e6,
+            "pid": e.pid,
+            "tid": tids[(e.pid, e.tid)],
+            "args": dict(e.attrs),
+        })
+    return events
+
+
+def write_chrome_trace(path, tracer: Tracer) -> None:
+    """Write a Perfetto-loadable JSON object trace to ``path``."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, default=_jsonable)
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars / arrays living in attrs."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape(value: str) -> str:
+    return (
+        str(value).replace("\\", r"\\").replace('"', r'\"')
+        .replace("\n", r"\n")
+    )
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every registered series."""
+    lines = []
+    for metric in sorted(registry.metrics(), key=lambda m: m.name):
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        with registry._lock:
+            items = list(metric._series.items())
+        for key, series in sorted(items, key=lambda kv: kv[0]):
+            labels = metric._series_labels(key)
+            if metric.kind == "histogram":
+                cumulative = metric.cumulative(key)
+                bounds = [*(str(b) for b in metric.buckets), "+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    bucket_labels = dict(labels, le=bound)
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {count}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series.total)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} "
+                    f"{series.n}"
+                )
+            else:
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(series.value)}"
+                )
+    lines.append(
+        "# HELP repro_metrics_dropped_series Label combinations the "
+        "registry refused beyond its cardinality bound"
+    )
+    lines.append("# TYPE repro_metrics_dropped_series gauge")
+    lines.append(f"repro_metrics_dropped_series {registry.dropped_series}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# JSON profile dump + per-op breakdown
+# ----------------------------------------------------------------------
+
+def op_breakdown(tracer: Tracer) -> list:
+    """Flamegraph-style per-name aggregation of the span buffer.
+
+    *Total* time sums each span's duration; *self* time subtracts the
+    duration of its direct children, so nested instrumentation (a
+    ``loglikelihood`` span containing ``factorize`` containing
+    per-task spans) attributes each microsecond exactly once.
+    Rows are sorted by self time, descending.
+    """
+    spans = tracer.sorted_spans()
+    child_time: dict = defaultdict(float)
+    for s in spans:
+        if s.parent is not None:
+            child_time[s.parent] += s.duration
+    rows: dict = {}
+    for s in spans:
+        row = rows.setdefault(
+            s.name, {"name": s.name, "count": 0, "total_s": 0.0,
+                     "self_s": 0.0},
+        )
+        row["count"] += 1
+        row["total_s"] += s.duration
+        row["self_s"] += max(s.duration - child_time.get(s.sid, 0.0), 0.0)
+    return sorted(rows.values(), key=lambda r: -r["self_s"])
+
+
+def render_breakdown(tracer: Tracer) -> str:
+    """Human-readable per-op table of :func:`op_breakdown`."""
+    rows = op_breakdown(tracer)
+    if not rows:
+        return "(no spans recorded)"
+    total_self = sum(r["self_s"] for r in rows) or 1.0
+    width = max(len(r["name"]) for r in rows)
+    width = max(width, len("span"))
+    lines = [
+        f"{'span':{width}s} {'count':>7s} {'total_s':>10s} "
+        f"{'self_s':>10s} {'self%':>6s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['name']:{width}s} {r['count']:7d} "
+            f"{r['total_s']:10.4f} {r['self_s']:10.4f} "
+            f"{100.0 * r['self_s'] / total_self:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def profile_dump(tracer: Tracer, registry: MetricsRegistry) -> dict:
+    """One JSON document holding the whole profile: span list, event
+    list, per-op breakdown, metrics snapshot."""
+    origin = tracer.origin()
+    return {
+        "spans": [
+            {
+                "sid": s.sid, "name": s.name, "parent": s.parent,
+                "start_s": s.start - origin, "end_s": s.end - origin,
+                "pid": s.pid, "tid": s.tid, "attrs": s.attrs,
+            }
+            for s in tracer.sorted_spans()
+        ],
+        "events": [
+            {
+                "name": e.name, "ts_s": e.ts - origin, "pid": e.pid,
+                "attrs": e.attrs,
+            }
+            for e in tracer.sorted_events()
+        ],
+        "breakdown": op_breakdown(tracer),
+        "metrics": registry.snapshot(),
+    }

@@ -38,6 +38,7 @@ heap executor whenever those knobs are set.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
@@ -46,6 +47,7 @@ from functools import lru_cache
 from typing import TYPE_CHECKING
 
 from ..exceptions import NotPositiveDefiniteError, SchedulingError
+from ..obs.tracer import current_span_id
 from ..tile import kernels as K
 from ..tile.batch import (
     ScratchPool,
@@ -61,6 +63,7 @@ from . import parallel as _parallel
 from .blasclamp import clamp_blas_threads
 from .parallel import ParallelRunReport
 from .task import Task
+from .trace import ExecutionTrace, TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import networkx as nx
@@ -178,6 +181,8 @@ def execute_cholesky_batched(
     pool: ScratchPool | None = None,
     min_batch: int = _MIN_BATCH,
     clamp: bool = True,
+    telemetry=None,
+    collect_trace: bool | None = None,
 ) -> tuple[TileMatrix, ParallelRunReport]:
     """Factor ``matrix`` in place by draining the DAG in waves of
     homogeneous batched kernel calls.
@@ -196,9 +201,19 @@ def execute_cholesky_batched(
     on an indefinite diagonal tile (same contract as the sequential
     reference) and wraps any other kernel failure in
     :class:`~repro.exceptions.SchedulingError`.
+
+    ``telemetry`` records one span per wave with one child span per
+    stacked group / scalar fallback; ``collect_trace`` (default: on
+    exactly when an enabled telemetry is passed) attaches the
+    wall-clock :class:`~repro.runtime.trace.ExecutionTrace` — group
+    members share their stacked call's interval — to the report.
     """
     if workers < 1:
         raise SchedulingError("need at least one worker")
+    spans_on = telemetry is not None and telemetry.tracer.enabled
+    tracing = spans_on if collect_trace is None else bool(collect_trace)
+    tracing = tracing or spans_on
+    parent_sid = current_span_id() if spans_on else None
     if tasks is None and dag is None:
         cached_tasks, cached_indegree, successors, _ = _cholesky_plan(matrix.nt)
         tasks = list(cached_tasks)
@@ -236,6 +251,18 @@ def execute_cholesky_batched(
     batched_tasks = 0
     fallback_tasks = 0
     max_wave = 0
+    # Wall-clock timeline of stacked/scalar calls: one ``(op, tasks,
+    # slot, start_abs, end_abs, batched)`` entry per *call* (not per
+    # task), appended under ``stats_lock``; dispatch threads map
+    # lazily onto small worker-slot ids.
+    timeline: list[tuple] = []
+    slot_of: dict[int, int] = {}
+
+    def note_call(op, batch, start, end, batched_flag) -> None:
+        ident = threading.get_ident()
+        with stats_lock:
+            slot = slot_of.setdefault(ident, len(slot_of))
+            timeline.append((op, batch, slot, start, end, batched_flag))
 
     def run_single(task: Task) -> None:
         """Per-tile fallback, identical to the heap executor's kernels."""
@@ -307,6 +334,20 @@ def execute_cholesky_batched(
         for task, out in zip(batch, outs):
             tiles[task.output] = out
 
+    def traced_single(task: Task) -> None:
+        start = time.perf_counter()
+        run_single(task)
+        note_call(task.op, (task,), start, time.perf_counter(), False)
+
+    def traced_group(group: _Group) -> None:
+        start = time.perf_counter()
+        run_group(group)
+        note_call(group.op, group.tasks, start, time.perf_counter(), True)
+
+    # The untraced path dispatches the original closures unchanged.
+    exec_single = traced_single if tracing else run_single
+    exec_group = traced_group if tracing else run_group
+
     def chunk_group(group: _Group, nchunks: int) -> list[_Group]:
         """Split a large group into slice chunks for worker-level
         parallelism; stacked gufuncs are slice-independent, so the
@@ -329,6 +370,7 @@ def execute_cholesky_batched(
         ThreadPoolExecutor(max_workers=eff_workers)
         if eff_workers > 1 else None
     )
+    wave_index = 0
     try:
         while remaining:
             if not ready:  # pragma: no cover - DAG invariant
@@ -337,6 +379,8 @@ def execute_cholesky_batched(
                 )
             wave = [task_by_uid[uid] for uid in ready]
             max_wave = max(max_wave, len(wave))
+            wave_t0 = time.perf_counter() if spans_on else 0.0
+            wave_mark = len(timeline)
 
             # Group the wave in sorted-uid order (deterministic).
             groups: dict[tuple, list[Task]] = {}
@@ -363,8 +407,8 @@ def execute_cholesky_batched(
 
             if executor is not None and (len(units) + len(singles)) > 1:
                 futures = [
-                    executor.submit(run_group, g) for g in units
-                ] + [executor.submit(run_single, t) for t in singles]
+                    executor.submit(exec_group, g) for g in units
+                ] + [executor.submit(exec_single, t) for t in singles]
                 first_exc: BaseException | None = None
                 for f in futures:
                     try:
@@ -376,14 +420,35 @@ def execute_cholesky_batched(
                     raise first_exc
             else:
                 for group in units:
-                    run_group(group)
+                    exec_group(group)
                 for task in singles:
-                    run_single(task)
+                    exec_single(task)
 
             batches += len(units)
             batched_tasks += sum(len(g.tasks) for g in units)
             fallback_tasks += len(singles)
             stats.count_batch(Counter(t.op for t in wave))
+
+            if spans_on:
+                # The wave's futures have all resolved, so the slice
+                # below has no concurrent writers.
+                wave_sid = telemetry.tracer.add_span(
+                    "wave", wave_t0, time.perf_counter(),
+                    parent=parent_sid,
+                    attrs={"wave": wave_index, "tasks": len(wave),
+                           "groups": len(units),
+                           "singles": len(singles)},
+                )
+                add_span = telemetry.tracer.add_span
+                for op, batch, slot, start, end, batched_flag in (
+                    timeline[wave_mark:]
+                ):
+                    add_span(
+                        op, start, end, parent=wave_sid, tid=slot,
+                        attrs={"batched": batched_flag,
+                               "tasks": len(batch), "worker": slot},
+                    )
+            wave_index += 1
 
             # Release successors: the whole wave completed.
             next_ready: list[int] = []
@@ -408,6 +473,24 @@ def execute_cholesky_batched(
         clamp_cm.__exit__(None, None, None)
     wall = time.perf_counter() - t0
 
+    trace_obj = None
+    if tracing and timeline:
+        records = []
+        for op, batch, slot, start, end, _batched in timeline:
+            # Group members share their stacked call's interval.
+            records.extend(
+                TaskRecord(
+                    uid=task.uid, op=op, node=slot, core=slot,
+                    start=start - t0, end=end - t0,
+                )
+                for task in batch
+            )
+        records.sort(key=lambda r: (r.start, r.uid))
+        trace_obj = ExecutionTrace(
+            records=records, nodes=max(len(slot_of), 1),
+            cores_per_node=1,
+        )
+
     report = ParallelRunReport(
         workers=eff_workers,
         tasks=len(tasks),
@@ -418,5 +501,6 @@ def execute_cholesky_batched(
         batched_tasks=batched_tasks,
         fallback_tasks=fallback_tasks,
         blas_clamp=blas_clamp,
+        trace=trace_obj,
     )
     return matrix, report

@@ -47,6 +47,7 @@ from ..exceptions import (
     NumericalCorruptionError,
     SchedulingError,
 )
+from ..obs.tracer import current_span_id
 from ..tile import kernels as K
 from ..tile.cholesky import CholeskyStats
 from ..tile.matrix import TileMatrix
@@ -55,6 +56,7 @@ from .blasclamp import clamp_blas_threads
 from .comm import CommStats
 from .scheduler import panel_priorities
 from .task import Task
+from .trace import ExecutionTrace, TaskRecord
 
 __all__ = ["ParallelRunReport", "execute_cholesky_parallel"]
 
@@ -98,6 +100,12 @@ class ParallelRunReport:
     blas_clamp: int | None = None
     #: Measured cross-owner tile traffic (process backend only).
     comm: CommStats | None = None
+    #: Real wall-clock task timeline (monotonic start/end relative to
+    #: run start, ``node``/``core`` = worker slot) — same shape the
+    #: simulator emits, so :func:`repro.runtime.gantt.render_gantt`
+    #: renders real runs too.  Only populated when tracing was
+    #: requested; ``None`` keeps the untraced path free.
+    trace: "ExecutionTrace | None" = None
 
 
 def _tile_is_finite(tile: Tile) -> bool:
@@ -123,6 +131,8 @@ def execute_cholesky_parallel(
     retry=None,
     chaos=None,
     check_finite: bool | None = None,
+    telemetry=None,
+    collect_trace: bool | None = None,
 ) -> tuple[TileMatrix, ParallelRunReport]:
     """Factor ``matrix`` in place using a thread pool over the task DAG.
 
@@ -140,9 +150,22 @@ def execute_cholesky_parallel(
     NaN/inf, raising :class:`~repro.exceptions.NumericalCorruptionError`
     (default: enabled exactly when ``retry`` or ``chaos`` is set, so
     the plain path pays nothing).
+
+    ``telemetry`` (a :class:`~repro.obs.Telemetry`) records one span
+    per executed task, parented to the caller's enclosing span;
+    ``collect_trace`` forces the wall-clock
+    :class:`~repro.runtime.trace.ExecutionTrace` on the report even
+    without a telemetry bundle (default: collect exactly when an
+    enabled telemetry is passed).  Tasks buffer their timing
+    per-worker and flush once at worker exit, so the hot loop takes no
+    extra locks; with both off, the execution path is unchanged.
     """
     if workers < 1:
         raise SchedulingError("need at least one worker")
+    spans_on = telemetry is not None and telemetry.tracer.enabled
+    tracing = spans_on if collect_trace is None else bool(collect_trace)
+    tracing = tracing or spans_on
+    parent_sid = current_span_id() if spans_on else None
     if tasks is None and dag is None:
         # The default path of every likelihood evaluation: dependence
         # structure AND priority map come from the lru-cached plan
@@ -236,14 +259,16 @@ def execute_cholesky_parallel(
             )
         return out
 
-    def run_task(task: Task) -> None:
+    def run_task(task: Task) -> int:
         nonlocal retries
+        attempts = 1
         if retry is None:
             out = compute_task(task, 1)
         else:
 
             def note_retry(attempt: int, exc: BaseException) -> None:
-                nonlocal retries
+                nonlocal retries, attempts
+                attempts += 1
                 with lock:
                     retries += 1
                     stats.retries += 1
@@ -260,14 +285,23 @@ def execute_cholesky_parallel(
                 if out.is_low_rank:
                     stats.max_rank_seen = max(stats.max_rank_seen, out.rank)
         matrix.set(*task.output, out)
+        return attempts
 
-    def worker_loop() -> None:
+    # Flushed per-worker task timings: (uid, op, tile, slot, start_abs,
+    # end_abs, attempts).  Absolute perf_counter values — the trace
+    # rebases to t0 and the tracer keeps absolutes.
+    timeline: list[tuple] = []
+
+    def worker_loop(slot: int = 0) -> None:
         nonlocal remaining, running, max_running
         dispatched = False
         # Per-worker tally, flushed once under the lock at worker exit
         # (Counter bulk update instead of one locked dict write per
         # task).
         tally: Counter[str] = Counter()
+        # Per-worker trace buffer, flushed with the tally — the hot
+        # loop never touches a shared structure for telemetry.
+        recs: list[tuple] = []
         try:
             while True:
                 with done:
@@ -298,7 +332,15 @@ def execute_cholesky_parallel(
                     dispatched = True
                     max_running = max(max_running, running)
                 task = task_by_uid[uid]
-                run_task(task)
+                if tracing:
+                    t_start = time.perf_counter()
+                    attempts = run_task(task)
+                    recs.append((
+                        uid, task.op, task.output, slot, t_start,
+                        time.perf_counter(), attempts,
+                    ))
+                else:
+                    run_task(task)
                 tally[task.op] += 1
                 with done:
                     dispatched = False
@@ -321,9 +363,10 @@ def execute_cholesky_parallel(
                 cancel.cancel(f"worker failed: {exc!r}")
                 done.notify_all()
         finally:
-            if tally:
+            if tally or recs:
                 with lock:
                     stats.count_batch(tally)
+                    timeline.extend(recs)
 
     t0 = time.perf_counter()
     # Oversubscription guard: each worker thread issues BLAS calls, so
@@ -331,7 +374,9 @@ def execute_cholesky_parallel(
     # the duration of the pool (restored on exit, no-op at workers=1).
     with clamp_blas_threads(workers) as blas_clamp:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(worker_loop) for _ in range(workers)]
+            futures = [
+                pool.submit(worker_loop, slot) for slot in range(workers)
+            ]
             for f in futures:
                 f.result()
     wall = time.perf_counter() - t0
@@ -353,6 +398,27 @@ def execute_cholesky_parallel(
         )
     if remaining != 0:  # pragma: no cover - invariant
         raise SchedulingError(f"{remaining} tasks never executed")
+    trace_obj = None
+    if tracing and timeline:
+        timeline.sort(key=lambda r: r[4])
+        trace_obj = ExecutionTrace(
+            records=[
+                TaskRecord(
+                    uid=uid, op=op, node=slot, core=slot,
+                    start=start - t0, end=end - t0, attempts=attempts,
+                )
+                for uid, op, _tile, slot, start, end, attempts in timeline
+            ],
+            nodes=workers, cores_per_node=1,
+        )
+        if spans_on:
+            add_span = telemetry.tracer.add_span
+            for uid, op, tile, slot, start, end, attempts in timeline:
+                add_span(
+                    op, start, end, parent=parent_sid, tid=slot,
+                    attrs={"uid": uid, "tile": list(tile),
+                           "worker": slot, "attempt": attempts},
+                )
     report = ParallelRunReport(
         workers=workers,
         tasks=len(tasks),
@@ -364,5 +430,6 @@ def execute_cholesky_parallel(
             chaos.stats.events - chaos_before if chaos is not None else 0
         ),
         blas_clamp=blas_clamp,
+        trace=trace_obj,
     )
     return matrix, report

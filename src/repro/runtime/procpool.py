@@ -55,6 +55,7 @@ from ..exceptions import (
     ShapeError,
     WorkerLostError,
 )
+from ..obs.tracer import current_span_id
 from ..tile.cholesky import CholeskyStats
 from ..tile.compression import fast_lr_enabled
 from ..tile.matrix import TileMatrix
@@ -64,6 +65,7 @@ from .comm import CommStats
 from .distribution import BlockCyclic2D
 from .parallel import ParallelRunReport
 from .procworker import worker_main
+from .trace import ExecutionTrace, TaskRecord
 
 __all__ = ["ProcessPoolEngine"]
 
@@ -266,6 +268,8 @@ class ProcessPoolEngine:
         chaos=None,
         check_finite: bool | None = None,
         batch: bool = False,
+        telemetry=None,
+        collect_trace: bool | None = None,
     ) -> tuple[TileMatrix, ParallelRunReport]:
         """Factor ``matrix`` in place across the worker processes.
 
@@ -281,8 +285,23 @@ class ProcessPoolEngine:
         workers run homogeneous groups of one dispatch as stacked BLAS
         calls (dense results bit-identical; ignored under retry/chaos,
         which need per-task semantics).
+
+        ``telemetry`` merges the workers' shipped span timings into
+        the parent tracer (worker ``rank`` appears as process
+        ``rank + 1``), giving one cross-process timeline;
+        ``collect_trace`` attaches the wall-clock
+        :class:`~repro.runtime.trace.ExecutionTrace` (``node`` =
+        worker rank) to the report.  Workers and parent share the
+        ``time.perf_counter`` epoch (CLOCK_MONOTONIC), so no clock
+        translation happens anywhere.
         """
         self.start()
+        spans_on = telemetry is not None and telemetry.tracer.enabled
+        tracing = (
+            spans_on if collect_trace is None else bool(collect_trace)
+        )
+        tracing = tracing or spans_on
+        parent_sid = current_span_id() if spans_on else None
         from .batchdispatch import _cholesky_plan
 
         tasks, indegree0, successors, prio = _cholesky_plan(matrix.nt)
@@ -313,6 +332,7 @@ class ProcessPoolEngine:
                 "retry": retry,
                 "grid": self.grid,
                 "batch": batch,
+                "trace": tracing,
             }
             for q in self._task_qs:
                 q.put(("eval", cfg))
@@ -333,6 +353,9 @@ class ProcessPoolEngine:
             chaos_delta = [0, 0, 0]
             max_busy = 0
             last_progress = time.monotonic()
+            # Merged worker timeline: (uid, op, rank, tile, start_abs,
+            # end_abs, attempts, batched).
+            timeline: list[tuple] = []
 
             def flush() -> None:
                 """Dispatch every ready task to its owner, one message
@@ -399,12 +422,18 @@ class ProcessPoolEngine:
                 last_progress = time.monotonic()
                 kind = msg[0]
                 if kind == "ok":
-                    _, _, uid, handle, info = msg
+                    _, rank, uid, handle, info = msg
                     in_flight.pop(uid, None)
                     remaining -= 1
                     handles[handle.index] = handle
                     store.handles[handle.index] = handle
                     opcounts[info["op"]] += 1
+                    span = info.get("span")
+                    if tracing and span is not None:
+                        timeline.append((
+                            uid, info["op"], rank, handle.index,
+                            span[0], span[1], span[2], span[3],
+                        ))
                     comm.remote_reads += info["remote_reads"]
                     comm.remote_bytes += info["remote_bytes"]
                     comm.local_reads += info["local_reads"]
@@ -454,6 +483,33 @@ class ProcessPoolEngine:
             store.read_into(matrix)
             stats.retries = retries
             stats.count_batch(opcounts)
+            trace_obj = None
+            if tracing and timeline:
+                timeline.sort(key=lambda r: (r[4], r[0]))
+                trace_obj = ExecutionTrace(
+                    records=[
+                        TaskRecord(
+                            uid=uid, op=op, node=rank, core=rank,
+                            start=start - t0, end=end - t0,
+                            attempts=attempts,
+                        )
+                        for uid, op, rank, _tile, start, end,
+                        attempts, _batched in timeline
+                    ],
+                    nodes=self.workers, cores_per_node=1,
+                )
+                if spans_on:
+                    add_span = telemetry.tracer.add_span
+                    for (uid, op, rank, tile, start, end, attempts,
+                         batched) in timeline:
+                        add_span(
+                            op, start, end, parent=parent_sid,
+                            pid=rank + 1, tid=rank,
+                            attrs={"uid": uid, "tile": list(tile),
+                                   "worker": rank,
+                                   "attempt": attempts,
+                                   "batched": batched},
+                        )
             report = ParallelRunReport(
                 workers=self.workers,
                 tasks=len(tasks),
@@ -464,6 +520,7 @@ class ProcessPoolEngine:
                 chaos_events=sum(chaos_delta),
                 blas_clamp=self.blas_clamp if self.workers > 1 else None,
                 comm=comm,
+                trace=trace_obj,
             )
             return matrix, report
         finally:

@@ -36,6 +36,7 @@ land on workers.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
 
@@ -79,6 +80,11 @@ class _EvalState:
     batch: bool
     retry: object | None
     chaos: ChaosInjector | None
+    #: Ship per-task span timings back with results.  Clocks are
+    #: ``time.perf_counter`` (CLOCK_MONOTONIC, shared epoch with the
+    #: parent on Linux), so the parent merges them into one timeline
+    #: without any clock translation.
+    trace: bool = False
 
 
 _plan_cache: dict[int, dict[int, Task]] = {}
@@ -108,6 +114,7 @@ def _arm(rank: int, cfg: dict) -> _EvalState:
         batch=cfg["batch"],
         retry=cfg["retry"],
         chaos=None if chaos_cfg is None else ChaosInjector(chaos_cfg),
+        trace=cfg.get("trace", False),
     )
 
 
@@ -212,7 +219,8 @@ def _gather_tiles(items, st: _EvalState, cache: SegmentCache):
 
 
 def _result_info(task: Task, out: Tile, was_lr: bool, task_comm: dict,
-                 retries: int, chaos_delta: tuple[int, int, int]) -> dict:
+                 retries: int, chaos_delta: tuple[int, int, int],
+                 span: tuple | None = None) -> dict:
     info = dict(task_comm)
     info["op"] = task.op
     info["retries"] = retries
@@ -221,6 +229,11 @@ def _result_info(task: Task, out: Tile, was_lr: bool, task_comm: dict,
         task.op == "gemm" and was_lr and not out.is_low_rank
     )
     info["lr_rank"] = out.rank if out.is_low_rank else None
+    if span is not None:
+        # (start_abs, end_abs, attempts, batched) — the task's
+        # wall-clock interval on this worker, for the parent's merged
+        # trace.  Group members share their stacked call's interval.
+        info["span"] = span
     return info
 
 
@@ -237,18 +250,20 @@ def _run_items(rank, items, st: _EvalState, cache: SegmentCache,
     handles = {uid: out_handle for uid, out_handle, _ in items}
 
     def finish(task: Task, out: Tile, was_lr: bool, retries: int,
-               delta: tuple[int, int, int]) -> None:
+               delta: tuple[int, int, int],
+               span: tuple | None = None) -> None:
         new_handle = cache.write(handles[task.uid], out)
         result_q.put((
             "ok", rank, task.uid, new_handle,
             _result_info(task, out, was_lr, per_task_comm[task.uid],
-                         retries, delta),
+                         retries, delta, span=span),
         ))
 
     def run_single(task: Task) -> None:
         before = _chaos_snapshot(st)
         retries = 0
         was_lr = tiles[task.output].is_low_rank
+        t_start = time.perf_counter() if st.trace else 0.0
         try:
             if st.retry is None:
                 out = _compute(task, tiles, st, 1)
@@ -271,8 +286,12 @@ def _run_items(rank, items, st: _EvalState, cache: SegmentCache,
             return
         after = _chaos_snapshot(st)
         tiles[task.output] = out
+        span = (
+            (t_start, time.perf_counter(), retries + 1, False)
+            if st.trace else None
+        )
         finish(task, out, was_lr, retries,
-               tuple(a - b for a, b in zip(after, before)))
+               tuple(a - b for a, b in zip(after, before)), span=span)
 
     tasks = [st.task_by_uid[uid] for uid, _, _ in items]
     # Batched grouping mirrors the in-process dispatcher: only when
@@ -299,6 +318,7 @@ def _run_items(rank, items, st: _EvalState, cache: SegmentCache,
             if len(batch) < _MIN_BATCH:
                 singles.extend(batch)
                 continue
+            group_t0 = time.perf_counter() if st.trace else 0.0
             try:
                 op = key[0]
                 if op == "potrf":
@@ -334,10 +354,14 @@ def _run_items(rank, items, st: _EvalState, cache: SegmentCache,
                 # per-tile (bit-identical) to pin the failing uid.
                 singles.extend(batch)
                 continue
+            group_span = (
+                (group_t0, time.perf_counter(), 1, True)
+                if st.trace else None
+            )
             for task, out in zip(batch, outs):
                 was_lr = tiles[task.output].is_low_rank
                 tiles[task.output] = out
-                finish(task, out, was_lr, 0, (0, 0, 0))
+                finish(task, out, was_lr, 0, (0, 0, 0), span=group_span)
         for task in singles:
             run_single(task)
 

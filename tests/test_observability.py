@@ -1,0 +1,369 @@
+"""Tests for the unified telemetry layer (tracer, metrics, exporters,
+and the instrumented real execution paths)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import fit_mle, loglikelihood
+from repro.core.model import ExaGeoStatModel
+from repro.kernels import MaternKernel
+from repro.obs import MetricsRegistry, Telemetry, maybe_span
+from repro.obs.export import op_breakdown, render_prometheus
+from repro.obs.tracer import Tracer, current_span_id, span_tuple
+from repro.ordering import order_points
+
+THETA = np.array([1.0, 0.1, 0.5])
+NUGGET = 1.0e-8
+
+
+@pytest.fixture(scope="module")
+def problem():
+    gen = np.random.default_rng(42)
+    x = gen.uniform(size=(160, 2))
+    x = x[order_points(x, "morton")]
+    kernel = MaternKernel()
+    sigma = kernel.covariance_matrix(THETA, x, nugget=NUGGET)
+    z = np.linalg.cholesky(sigma) @ gen.standard_normal(160)
+    return kernel, x, z
+
+
+# ----------------------------------------------------------------------
+# tracer core
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_contextvar_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer_sid:
+            assert current_span_id() == outer_sid
+            with tracer.span("inner"):
+                pass
+        assert current_span_id() is None
+        outer, inner = tracer.by_name("outer")[0], tracer.by_name("inner")[0]
+        assert inner.parent == outer.sid
+        assert outer.parent is None
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = Tracer()
+        with tracer.span("a") as a_sid:
+            with tracer.span("b", parent=None):
+                pass
+            with tracer.span("c", parent=a_sid):
+                pass
+        assert tracer.by_name("b")[0].parent is None
+        assert tracer.by_name("c")[0].parent == a_sid
+
+    def test_exception_annotates_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        span = tracer.by_name("doomed")[0]
+        assert span.attrs["error"] == "ValueError"
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("x")
+        second = tracer.span("y", op="potrf")
+        assert first is second  # shared no-op context manager
+        with first:
+            tracer.event("e")
+            assert current_span_id() is None
+        assert len(tracer) == 0
+        assert tracer.sorted_events() == []
+        assert tracer.add_span("z", 0.0, 1.0) == 0
+
+    def test_cross_process_merge_ordering(self):
+        tracer = Tracer()
+        root = tracer.add_span("root", 0.0, 10.0)
+        # Worker records arrive per rank, out of global time order.
+        tracer.merge_foreign(
+            [span_tuple("potrf", 3.0, 4.0, {"uid": 2}),
+             span_tuple("trsm", 1.0, 2.0, {"uid": 1})],
+            pid=1, parent=root,
+        )
+        tracer.merge_foreign(
+            [span_tuple("gemm", 2.5, 3.5, {"uid": 3})], pid=2, parent=root,
+        )
+        merged = tracer.sorted_spans()
+        assert [s.name for s in merged] == ["root", "trsm", "gemm", "potrf"]
+        assert [s.pid for s in merged] == [0, 1, 2, 1]
+        assert all(s.parent == root for s in merged[1:])
+        assert tracer.origin() == 0.0
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "count", ("op",))
+        c.inc(2, "potrf")
+        c.inc(1, "potrf")
+        with pytest.raises(ValueError):
+            c.inc(-1, "potrf")
+        g = reg.gauge("g", "gauge")
+        g.set(5)
+        g.inc(-2)
+        h = reg.histogram("h_seconds", "hist", buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 0.5, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["c_total"]["series"][0]["value"] == 3.0
+        assert snap["g"]["series"][0]["value"] == 3.0
+        hs = snap["h_seconds"]["series"][0]
+        # bisect_left => le semantics: 0.1 falls in the 0.1 bucket.
+        assert hs["buckets"] == {"0.1": 2, "1.0": 3, "+Inf": 4}
+        assert hs["count"] == 4
+        assert hs["sum"] == pytest.approx(2.65)
+
+    def test_kind_and_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", "d", ("op",))
+        with pytest.raises(ValueError):
+            reg.gauge("m", "d", ("op",))
+        with pytest.raises(ValueError):
+            reg.counter("m", "d", ("other",))
+
+    def test_cardinality_bound(self):
+        reg = MetricsRegistry(max_series=2)
+        c = reg.counter("bound_total", "d", ("uid",))
+        for uid in range(5):
+            c.inc(1, uid)
+        snap = reg.snapshot()
+        series = snap["bound_total"]["series"]
+        labels = [s["labels"] for s in series]
+        assert {"overflow": "1"} in labels
+        assert len(series) == 3  # two real series + the overflow sink
+        assert reg.dropped_series == 3
+        text = render_prometheus(reg)
+        assert 'bound_total{overflow="1"} 3' in text
+        assert "repro_metrics_dropped_series 3" in text
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    @pytest.fixture()
+    def traced(self, problem):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        result = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, workers=2, backend="thread",
+            telemetry=telemetry,
+        )
+        return result, telemetry
+
+    def test_chrome_trace_schema(self, traced):
+        _, telemetry = traced
+        events = json.loads(json.dumps(telemetry.chrome_trace_events()))
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in metas}
+        assert any(
+            e["name"] == "process_name" and e["args"]["name"] == "driver"
+            for e in metas
+        )
+        completes = [e for e in events if e["ph"] == "X"]
+        assert completes, "no complete events exported"
+        for e in completes:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+            assert "span_id" in e["args"]
+
+    def test_prometheus_schema(self, traced):
+        _, telemetry = traced
+        text = telemetry.render_prometheus()
+        lines = text.splitlines()
+        helps = [ln for ln in lines if ln.startswith("# HELP")]
+        types = [ln for ln in lines if ln.startswith("# TYPE")]
+        assert len(helps) == len(types) >= 4
+        samples = [ln for ln in lines if ln and not ln.startswith("#")]
+        for ln in samples:
+            float(ln.rsplit(" ", 1)[1])  # every sample value parses
+        assert any(
+            ln.startswith("repro_cholesky_kernels_total{") for ln in samples
+        )
+
+    def test_breakdown_self_time(self, traced):
+        _, telemetry = traced
+        rows = op_breakdown(telemetry.tracer)
+        names = [r["name"] for r in rows]
+        assert "loglikelihood" in names and "factorize" in names
+        for row in rows:
+            assert 0.0 <= row["self_s"] <= row["total_s"] + 1e-9
+        # parent self-time excludes child time: the loglikelihood span
+        # contains generate + factorize + solve, so its self share is
+        # strictly below its total.
+        ll = next(r for r in rows if r["name"] == "loglikelihood")
+        assert ll["self_s"] < ll["total_s"]
+
+    def test_profile_dump_round_trip(self, traced):
+        _, telemetry = traced
+        dump = json.loads(json.dumps(telemetry.profile_dump()))
+        assert set(dump) >= {"spans", "events", "breakdown", "metrics"}
+        assert all(s["start_s"] >= 0.0 for s in dump["spans"])
+
+
+# ----------------------------------------------------------------------
+# instrumented execution paths
+# ----------------------------------------------------------------------
+class TestRealPaths:
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 2), ("sequential", 1),
+    ])
+    def test_traced_loglik_bit_identical(self, problem, backend, workers):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        kwargs = dict(
+            tile_size=40, variant="mp-dense-tlr", nugget=NUGGET,
+            workers=workers, backend=backend,
+        )
+        plain = loglikelihood(kernel, THETA, x, z, **kwargs)
+        traced = loglikelihood(
+            kernel, THETA, x, z, telemetry=telemetry, **kwargs
+        )
+        assert traced.value == plain.value
+        assert traced.logdet == plain.logdet
+        assert len(telemetry.tracer) > 0
+
+    def test_thread_backend_span_nesting(self, problem):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, workers=2, backend="thread",
+            telemetry=telemetry,
+        )
+        factorize = telemetry.tracer.by_name("factorize")[0]
+        tasks = [
+            s for s in telemetry.tracer.spans
+            if s.name in ("potrf", "trsm", "syrk", "gemm")
+        ]
+        assert tasks, "threaded executor emitted no per-task spans"
+        assert all(s.parent == factorize.sid for s in tasks)
+        assert all(
+            factorize.start <= s.start <= s.end <= factorize.end
+            for s in tasks
+        )
+        assert {"uid", "tile", "worker", "attempt"} <= set(tasks[0].attrs)
+
+    def test_batched_backend_wave_spans(self, problem):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        plain = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, batch=True, workers=2,
+        )
+        traced = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, batch=True, workers=2, telemetry=telemetry,
+        )
+        assert traced.value == plain.value
+        factorize = telemetry.tracer.by_name("factorize")[0]
+        waves = telemetry.tracer.by_name("wave")
+        assert waves and all(w.parent == factorize.sid for w in waves)
+        wave_sids = {w.sid for w in waves}
+        tasks = [
+            s for s in telemetry.tracer.spans
+            if s.name in ("potrf", "trsm", "syrk", "gemm")
+        ]
+        assert tasks and all(s.parent in wave_sids for s in tasks)
+        assert any(s.attrs.get("batched") for s in tasks)
+
+    def test_process_backend_merged_timeline(self, problem):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        plain = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, backend="process", workers=2,
+        )
+        traced = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, backend="process", workers=2,
+            telemetry=telemetry,
+        )
+        assert traced.value == plain.value
+        pids = {s.pid for s in telemetry.tracer.spans}
+        assert pids == {0, 1, 2}
+        factorize = telemetry.tracer.by_name("factorize")[0]
+        worker_spans = [s for s in telemetry.tracer.spans if s.pid > 0]
+        assert worker_spans
+        assert all(s.parent == factorize.sid for s in worker_spans)
+        # shared perf_counter epoch: worker spans sit inside the
+        # driver's factorize window.
+        assert all(
+            factorize.start <= s.start <= s.end <= factorize.end
+            for s in worker_spans
+        )
+
+    @pytest.mark.parametrize("variant", ["dense-fp64", "mp-dense-tlr"])
+    def test_traced_fit_bit_identical(self, problem, variant):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        kwargs = dict(
+            tile_size=40, variant=variant, theta0=THETA, max_iter=4,
+            nugget=NUGGET,
+        )
+        plain = fit_mle(kernel, x, z, **kwargs)
+        traced = fit_mle(kernel, x, z, telemetry=telemetry, **kwargs)
+        assert traced.loglik == plain.loglik
+        assert traced.history == plain.history
+        np.testing.assert_array_equal(traced.theta, plain.theta)
+        events = [
+            e for e in telemetry.tracer.sorted_events()
+            if e.name == "mle_iteration"
+        ]
+        assert len(events) == plain.nfev
+        first = events[0].attrs
+        assert {"loglik", "theta", "rank_hist", "precision_mix",
+                "nfev", "variant"} <= set(first)
+        assert first["variant"] == variant
+
+    def test_model_predict_spans_and_stats(self, problem):
+        kernel, x, z = problem
+        telemetry = Telemetry()
+        model = ExaGeoStatModel(
+            kernel=kernel, variant="mp-dense", tile_size=40,
+            telemetry=telemetry,
+        )
+        model.fit(x, z, theta0=THETA, max_iter=3)
+        gen = np.random.default_rng(7)
+        x_new = gen.uniform(size=(30, 2))
+        model.predict(x_new, return_uncertainty=True, batch=10, workers=2)
+        predict = telemetry.tracer.by_name("predict")[0]
+        batches = telemetry.tracer.by_name("predict_batch")
+        assert len(batches) == 3
+        assert all(b.parent == predict.sid for b in batches)
+        snap = telemetry.registry.snapshot()
+        assert "repro_serving" in snap
+        assert "repro_breaker_open" in snap
+        assert "repro_engine_evaluations" in snap
+
+    def test_disabled_bundle_is_silent(self, problem):
+        kernel, x, z = problem
+        off = Telemetry(enabled=False)
+        result = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET, telemetry=off,
+        )
+        plain = loglikelihood(
+            kernel, THETA, x, z, tile_size=40, variant="mp-dense",
+            nugget=NUGGET,
+        )
+        assert result.value == plain.value
+        assert len(off.tracer) == 0
+        assert off.registry.metrics() == []
+
+    def test_maybe_span_shares_null_context(self):
+        assert maybe_span(None, "a") is maybe_span(None, "b")
+        telemetry = Telemetry()
+        with maybe_span(telemetry, "real", op="x") as sid:
+            assert sid == current_span_id()
+        assert telemetry.tracer.by_name("real")[0].attrs == {"op": "x"}
